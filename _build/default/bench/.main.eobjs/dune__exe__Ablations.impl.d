@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Batched Corrected_rules Data Dt_core Dt_report Dt_stats Dynamic_rules Heuristic Instance Lazy List Metrics Printf Table

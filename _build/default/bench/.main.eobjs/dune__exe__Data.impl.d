@@ -1,0 +1,1 @@
+bench/data.ml: Array Dt_chem Dt_core Dt_ga Dt_stats Dt_trace Float List Sys

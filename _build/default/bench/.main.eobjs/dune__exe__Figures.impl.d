@@ -1,0 +1,1 @@
+bench/figures.ml: Array Batched Boxplot Data Dt_core Dt_report Dt_stats Dt_trace Float Heuristic Lazy List Metrics Printf Static_rules Table

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Data Extensions_bench Figures List Micro Printf String Sys Tables Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Dt_core Dt_report Dt_stats Float Hashtbl Instance List Measure Printf Staged String Test Time Toolkit

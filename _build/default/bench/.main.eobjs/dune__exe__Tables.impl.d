@@ -1,0 +1,1 @@
+bench/tables.ml: Array Corrected_rules Data Dt_core Dt_report Dt_stats Dynamic_rules Exact Gantt Heuristic Instance Johnson Lazy List Metrics Printf Reduction Schedule Static_rules String Table Task

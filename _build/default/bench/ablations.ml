@@ -1,0 +1,91 @@
+(* Design-choice ablations beyond the paper, for the decisions DESIGN.md
+   calls out: the value of the OMIM static order inside the corrected
+   heuristics, the min-idle filter inside dynamic selection, and the
+   batch-size sensitivity of Section 6.3. *)
+
+open Dt_core
+open Dt_report
+
+let section id title = Printf.printf "\n== %s: %s ==\n\n" id title
+
+(* Corrected heuristics with the Johnson (OMIM) order replaced by the
+   submission order: how much of their advantage is the static
+   knowledge? *)
+let correction_order () =
+  section "abl-order" "corrected heuristics: OMIM initial order vs submission order";
+  let traces = Lazy.force Data.ccsd_traces in
+  let traces = Array.sub traces 0 (min 40 (Array.length traces)) in
+  let median f = Dt_stats.Descriptive.median (Array.map f traces) in
+  let header = [ "rule"; "initial order"; "C=1.25m_c"; "C=1.5m_c"; "C=2m_c" ] in
+  let rows =
+    List.concat_map
+      (fun rule ->
+        let row kind order_of =
+          [ Corrected_rules.name rule; kind ]
+          @ List.map
+              (fun factor ->
+                Table.fmt_ratio
+                  (median (fun trace ->
+                       let instance = Data.instance_of trace ~factor in
+                       let order = order_of instance in
+                       Metrics.ratio instance (Corrected_rules.run ?order rule instance))))
+              [ 1.25; 1.5; 2.0 ]
+        in
+        [
+          row "OMIM" (fun _ -> None);
+          row "submission" (fun i -> Some (Instance.task_list i));
+        ])
+      Corrected_rules.all
+  in
+  Table.print ~header rows
+
+(* Dynamic selection without the minimum-idle filter. *)
+let min_idle_filter () =
+  section "abl-minidle" "dynamic selection: with vs without the min-idle filter";
+  let traces = Lazy.force Data.ccsd_traces in
+  let traces = Array.sub traces 0 (min 40 (Array.length traces)) in
+  let median f = Dt_stats.Descriptive.median (Array.map f traces) in
+  let header = [ "criterion"; "min-idle filter"; "C=1m_c"; "C=1.5m_c"; "C=2m_c" ] in
+  let rows =
+    List.concat_map
+      (fun c ->
+        let row flag =
+          [ Dynamic_rules.name c; string_of_bool flag ]
+          @ List.map
+              (fun factor ->
+                Table.fmt_ratio
+                  (median (fun trace ->
+                       let instance = Data.instance_of trace ~factor in
+                       Metrics.ratio instance
+                         (Dynamic_rules.run ~min_idle_filter:flag c instance))))
+              [ 1.0; 1.5; 2.0 ]
+        in
+        [ row true; row false ])
+      Dynamic_rules.all
+  in
+  Table.print ~header rows
+
+(* Batch-size sweep for the best corrected heuristic. *)
+let batch_sweep () =
+  section "abl-batch" "batch-size sensitivity (OOSCMR on CCSD, C = 1.5 m_c)";
+  let traces = Lazy.force Data.ccsd_traces in
+  let traces = Array.sub traces 0 (min 40 (Array.length traces)) in
+  let h = Heuristic.Corrected Corrected_rules.OOSCMR in
+  let median batch =
+    Dt_stats.Descriptive.median
+      (Array.map
+         (fun trace ->
+           let instance = Data.instance_of trace ~factor:1.5 in
+           Metrics.ratio instance (Batched.run ~batch h instance))
+         traces)
+  in
+  Table.print ~header:[ "batch size"; "median ratio" ]
+    (List.map
+       (fun b ->
+         [ (if b = max_int then "unbatched" else string_of_int b); Table.fmt_ratio (median b) ])
+       [ 25; 50; 100; 200; 400; max_int ])
+
+let all () =
+  correction_order ();
+  min_idle_filter ();
+  batch_sweep ()

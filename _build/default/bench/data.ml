@@ -1,0 +1,65 @@
+(* Shared workload data for the experiment harness.
+
+   Knobs (environment variables):
+     DTSCHED_TRACES   number of per-process traces per application
+                      (default 150, the paper's process count)
+     DTSCHED_HF_NBF   HF basis size (default 3000 ~ the SiOSi runs)
+     DTSCHED_FAST     set to 1 to shrink everything for a quick pass *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | Some _ | None -> default)
+
+let fast = Sys.getenv_opt "DTSCHED_FAST" = Some "1"
+
+let num_traces = env_int "DTSCHED_TRACES" (if fast then 20 else 150)
+
+let hf_nbf = env_int "DTSCHED_HF_NBF" (if fast then 1200 else 3000)
+
+let cluster = Dt_ga.Cluster.cascade
+
+let seed = 20190805 (* ICPP 2019 *)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let hf_traces =
+  lazy
+    (let all = Dt_chem.Workload.hf_trace_set ~seed ~cluster ~nbf:hf_nbf () in
+     Array.sub (Dt_trace.Trace.of_task_lists ~prefix:"hf" all) 0
+       (min num_traces (Array.length all)))
+
+let ccsd_traces =
+  lazy
+    (let all = Dt_chem.Workload.ccsd_trace_set ~seed ~cluster ~n_occ:29 ~n_virt:420 () in
+     Array.sub (Dt_trace.Trace.of_task_lists ~prefix:"ccsd" all) 0
+       (min num_traces (Array.length all)))
+
+(* The paper's capacity grid: m_c to 2 m_c in increments of 0.125 m_c. *)
+let capacity_factors = [ 1.0; 1.125; 1.25; 1.375; 1.5; 1.625; 1.75; 1.875; 2.0 ]
+
+(* A reduced grid for expensive experiments (lp.k). *)
+let coarse_capacity_factors = [ 1.0; 1.25; 1.5; 1.75; 2.0 ]
+
+let instance_of trace ~factor =
+  let m_c = Dt_trace.Trace.min_capacity trace in
+  Dt_trace.Trace.to_instance trace ~capacity:(m_c *. factor)
+
+(* Ratio of a heuristic's makespan to OMIM on one trace at one capacity. *)
+let ratio heuristic trace ~factor =
+  let instance = instance_of trace ~factor in
+  Dt_core.Metrics.ratio instance (Dt_core.Heuristic.run heuristic instance)
+
+let ratios heuristic traces ~factor =
+  Array.map (fun trace -> ratio heuristic trace ~factor) traces
+
+(* Best variant of each category at a given capacity (used by the paper's
+   Figures 10, 12 and 13): the variant with the lowest median ratio. *)
+let best_of_category category candidates traces ~factor =
+  let med h = Dt_stats.Descriptive.median (ratios h traces ~factor) in
+  let scored =
+    List.map (fun h -> (h, med h)) (List.filter (fun h -> Dt_core.Heuristic.category h = category) candidates)
+  in
+  match List.sort (fun (_, a) (_, b) -> Float.compare a b) scored with
+  | [] -> invalid_arg "best_of_category: no candidate"
+  | (h, _) :: _ -> h

@@ -1,0 +1,54 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (plus ablations and micro-benchmarks).
+
+     dune exec bench/main.exe                 # everything
+     EXPERIMENTS=fig9,fig10 dune exec bench/main.exe
+     DTSCHED_FAST=1 dune exec bench/main.exe  # reduced workload sizes
+     DTSCHED_TRACES=40 dune exec bench/main.exe *)
+
+let experiments =
+  [
+    ("table1", Tables.table1);
+    ("table2", Tables.table2);
+    ("table3", Tables.table3);
+    ("table4", Tables.table4);
+    ("table5", Tables.table5);
+    ("table6", Tables.table6);
+    ("fig7", Figures.fig7);
+    ("fig8", Figures.fig8);
+    ("fig9", Figures.fig9);
+    ("fig10", Figures.fig10);
+    ("fig11", Figures.fig11);
+    ("fig12", Figures.fig12);
+    ("fig13", Figures.fig13);
+    ("abl-order", Ablations.correction_order);
+    ("abl-minidle", Ablations.min_idle_filter);
+    ("abl-batch", Ablations.batch_sweep);
+    ("portfolio", Extensions_bench.portfolio);
+    ("abl-polish", Extensions_bench.polish);
+    ("fs3", Extensions_bench.flowshop3);
+    ("advisor", Extensions_bench.advisor);
+    ("robustness", Extensions_bench.robustness);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let selected =
+    match Sys.getenv_opt "EXPERIMENTS" with
+    | None | Some "" | Some "all" -> List.map fst experiments
+    | Some s -> String.split_on_char ',' s |> List.map String.trim
+  in
+  Printf.printf "dtsched experiment harness (%d traces/app%s)\n" Data.num_traces
+    (if Data.fast then ", fast mode" else "");
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    selected

@@ -1,0 +1,62 @@
+(* Bechamel micro-benchmarks: scheduling cost of the heuristics
+   themselves as the task count grows (the "runtime overhead" a runtime
+   system would pay), one Test.make per heuristic family. *)
+
+open Bechamel
+open Toolkit
+
+let instance_of_size n =
+  let rng = Dt_stats.Rng.create (n * 17) in
+  let tasks =
+    List.init n (fun i ->
+        Dt_core.Task.make ~id:i
+          ~comm:(Dt_stats.Rng.uniform rng 0.5 8.0)
+          ~comp:(Dt_stats.Rng.uniform rng 0.5 8.0)
+          ())
+  in
+  let m_c = List.fold_left (fun a (t : Dt_core.Task.t) -> Float.max a t.Dt_core.Task.mem) 1.0 tasks in
+  Dt_core.Instance.make ~capacity:(1.5 *. m_c) tasks
+
+let test_of_heuristic h =
+  Test.make_indexed ~name:(Dt_core.Heuristic.name h) ~args:[ 50; 200; 800 ] (fun n ->
+      let instance = instance_of_size n in
+      Staged.stage (fun () -> ignore (Dt_core.Heuristic.run h instance)))
+
+let representatives =
+  Dt_core.Heuristic.
+    [
+      Static Dt_core.Static_rules.OOSIM;
+      Gg;
+      Bp;
+      Dynamic Dt_core.Dynamic_rules.MAMR;
+      Corrected Dt_core.Corrected_rules.OOSCMR;
+    ]
+
+let run () =
+  Printf.printf "\n== micro: heuristic scheduling cost (bechamel) ==\n\n";
+  let tests = Test.make_grouped ~name:"heuristics" (List.map test_of_heuristic representatives) in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some [ v ] -> v | Some _ | None -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  Dt_report.Table.print ~header:[ "benchmark"; "time per run" ]
+    (List.map
+       (fun (name, ns) ->
+         [
+           name;
+           (if Float.is_nan ns then "n/a"
+            else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else Printf.sprintf "%.1f us" (ns /. 1e3));
+         ])
+       rows)

@@ -1,0 +1,354 @@
+(* dtsched: command-line front end.
+
+   Subcommands:
+     gen       generate HF/CCSD trace files
+     run       run one heuristic on a trace and report metrics
+     compare   compare every heuristic on a trace across capacities
+     gantt     render a schedule as an ASCII Gantt chart
+     workchar  workload characteristics of a trace directory (Figure 8)
+     chem      run the numeric HF/CCSD kernels on a small molecule *)
+
+open Cmdliner
+
+let cluster = Dt_ga.Cluster.cascade
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "t"; "trace" ] ~docv:"FILE" ~doc:"Trace file (see the gen command).")
+
+let factor_arg =
+  Arg.(
+    value & opt float 1.5
+    & info [ "c"; "capacity-factor" ] ~docv:"F"
+        ~doc:"Memory capacity as a multiple of the trace's minimum requirement $(b,m_c).")
+
+let heuristic_conv =
+  let parse s =
+    match Dt_core.Heuristic.of_name s with
+    | Some h -> Ok h
+    | None -> Error (`Msg (Printf.sprintf "unknown heuristic %S" s))
+  in
+  let print ppf h = Format.pp_print_string ppf (Dt_core.Heuristic.name h) in
+  Arg.conv (parse, print)
+
+let heuristic_arg =
+  Arg.(
+    value
+    & opt heuristic_conv (Dt_core.Heuristic.Corrected Dt_core.Corrected_rules.OOSCMR)
+    & info [ "H"; "heuristic" ] ~docv:"NAME"
+        ~doc:
+          "Heuristic: OOSIM, IOCMS, DOCPS, IOCCS, DOCCS, OS, GG, BP, LCMR, SCMR, MAMR, \
+           OOLCMR, OOSCMR, OOMAMR or lp.$(i,k).")
+
+let load_instance path ~factor =
+  let trace = Dt_trace.Trace.load path in
+  let m_c = Dt_trace.Trace.min_capacity trace in
+  (trace, Dt_trace.Trace.to_instance trace ~capacity:(m_c *. factor))
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen kernel out traces nbf seed =
+  let lists =
+    match kernel with
+    | `Hf -> Dt_chem.Workload.hf_trace_set ~seed ~cluster ~nbf ()
+    | `Ccsd -> Dt_chem.Workload.ccsd_trace_set ~seed ~cluster ~n_occ:29 ~n_virt:420 ()
+  in
+  let prefix = match kernel with `Hf -> "hf" | `Ccsd -> "ccsd" in
+  let set = Dt_trace.Trace.of_task_lists ~prefix lists in
+  let set = Array.sub set 0 (min traces (Array.length set)) in
+  let paths = Dt_trace.Trace.save_set ~dir:out ~prefix set in
+  Printf.printf "wrote %d traces under %s\n" (List.length paths) out
+
+let gen_cmd =
+  let kernel =
+    Arg.(
+      value
+      & opt (enum [ ("hf", `Hf); ("ccsd", `Ccsd) ]) `Hf
+      & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"hf or ccsd.")
+  in
+  let out =
+    Arg.(value & opt string "traces" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let traces =
+    Arg.(value & opt int 150 & info [ "n"; "traces" ] ~docv:"N" ~doc:"Number of process traces.")
+  in
+  let nbf =
+    Arg.(value & opt int 3000 & info [ "nbf" ] ~docv:"N" ~doc:"Basis functions (HF).")
+  in
+  let seed = Arg.(value & opt int 20190805 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate chemistry-kernel trace files")
+    Term.(const gen $ kernel $ out $ traces $ nbf $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_one trace_path heuristic factor =
+  let trace, instance = load_instance trace_path ~factor in
+  let sched = Dt_core.Heuristic.run heuristic instance in
+  let m = Dt_core.Metrics.evaluate instance sched in
+  Printf.printf "trace %s: %d tasks, m_c = %g, C = %g\n" trace.Dt_trace.Trace.name
+    (Dt_trace.Trace.size trace)
+    (Dt_trace.Trace.min_capacity trace)
+    instance.Dt_core.Instance.capacity;
+  Format.printf "heuristic %s: %a@." (Dt_core.Heuristic.name heuristic) Dt_core.Metrics.pp m;
+  match Dt_core.Schedule.check sched with
+  | Ok () -> ()
+  | Error v ->
+      Printf.eprintf "INVALID SCHEDULE: %s\n" (Dt_core.Schedule.violation_to_string v);
+      exit 2
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one heuristic on a trace")
+    Term.(const run_one $ trace_arg $ heuristic_arg $ factor_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compare_all trace_path factors with_lp =
+  let heuristics =
+    if with_lp then Dt_core.Heuristic.all_with_lp ~k:[ 3; 4 ] else Dt_core.Heuristic.all
+  in
+  let header = "heuristic" :: List.map (fun f -> Printf.sprintf "C=%gm_c" f) factors in
+  let rows =
+    List.map
+      (fun h ->
+        Dt_core.Heuristic.name h
+        :: List.map
+             (fun factor ->
+               let _, instance = load_instance trace_path ~factor in
+               let sched = Dt_core.Heuristic.run ~lp_node_limit:500 h instance in
+               Dt_report.Table.fmt_ratio (Dt_core.Metrics.ratio instance sched))
+             factors)
+      heuristics
+  in
+  Dt_report.Table.print ~header rows
+
+let compare_cmd =
+  let factors =
+    Arg.(
+      value
+      & opt (list float) [ 1.0; 1.25; 1.5; 1.75; 2.0 ]
+      & info [ "factors" ] ~docv:"F,F,..." ~doc:"Capacity factors (multiples of m_c).")
+  in
+  let with_lp =
+    Arg.(value & flag & info [ "with-lp" ] ~doc:"Include the (slow) lp.3 and lp.4 heuristics.")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all heuristics on a trace")
+    Term.(const compare_all $ trace_arg $ factors $ with_lp)
+
+(* ------------------------------------------------------------------ *)
+(* gantt                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gantt trace_path heuristic factor head width =
+  let trace, _ = load_instance trace_path ~factor in
+  let tasks = trace.Dt_trace.Trace.tasks in
+  let tasks = match head with None -> tasks | Some n -> List.filteri (fun i _ -> i < n) tasks in
+  let m_c =
+    List.fold_left (fun a (t : Dt_core.Task.t) -> Float.max a t.Dt_core.Task.mem) 0.0 tasks
+  in
+  let instance = Dt_core.Instance.make_keep_ids ~capacity:(m_c *. factor) tasks in
+  let sched = Dt_core.Heuristic.run heuristic instance in
+  Printf.printf "%s on %s (first %d tasks), C = %g:\n" (Dt_core.Heuristic.name heuristic)
+    trace.Dt_trace.Trace.name (List.length tasks) instance.Dt_core.Instance.capacity;
+  Dt_report.Gantt.print ~width sched
+
+let gantt_cmd =
+  let head =
+    Arg.(
+      value & opt (some int) (Some 30)
+      & info [ "head" ] ~docv:"N" ~doc:"Only schedule the first N tasks (default 30).")
+  in
+  let width =
+    Arg.(value & opt int 100 & info [ "width" ] ~docv:"COLS" ~doc:"Chart width in characters.")
+  in
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"Render a schedule as an ASCII Gantt chart")
+    Term.(const gantt $ trace_arg $ heuristic_arg $ factor_arg $ head $ width)
+
+(* ------------------------------------------------------------------ *)
+(* workchar                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let workchar dir prefix =
+  let set = Dt_trace.Trace.load_set ~dir ~prefix in
+  if Array.length set = 0 then begin
+    Printf.eprintf "no %s-p*.trace files under %s\n" prefix dir;
+    exit 1
+  end;
+  let chars = Dt_trace.Workchar.of_set set in
+  let header = [ "trace"; "tasks"; "comm/OMIM"; "comp/OMIM"; "max"; "sum"; "m_c" ] in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           [
+             c.Dt_trace.Workchar.name;
+             string_of_int c.Dt_trace.Workchar.tasks;
+             Dt_report.Table.fmt_ratio c.Dt_trace.Workchar.norm_comm;
+             Dt_report.Table.fmt_ratio c.Dt_trace.Workchar.norm_comp;
+             Dt_report.Table.fmt_ratio c.Dt_trace.Workchar.norm_max;
+             Dt_report.Table.fmt_ratio c.Dt_trace.Workchar.norm_sum;
+             Dt_report.Table.fmt_g c.Dt_trace.Workchar.m_c;
+           ])
+         chars)
+  in
+  Dt_report.Table.print ~header rows
+
+let workchar_cmd =
+  let dir =
+    Arg.(value & opt dir "traces" & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Trace directory.")
+  in
+  let prefix =
+    Arg.(value & opt string "hf" & info [ "p"; "prefix" ] ~docv:"P" ~doc:"Trace prefix (hf/ccsd).")
+  in
+  Cmd.v
+    (Cmd.info "workchar" ~doc:"Workload characteristics of saved traces (Figure 8)")
+    Term.(const workchar $ dir $ prefix)
+
+(* ------------------------------------------------------------------ *)
+(* recommend                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let recommend trace_path factor =
+  let trace, instance = load_instance trace_path ~factor in
+  let d = Dt_core.Advisor.diagnose instance in
+  Printf.printf "trace %s (%d tasks, C = %g):\n%s\n" trace.Dt_trace.Trace.name
+    (Dt_trace.Trace.size trace) instance.Dt_core.Instance.capacity
+    (Dt_core.Advisor.explain d);
+  let sched = Dt_core.Heuristic.run d.Dt_core.Advisor.recommendation instance in
+  Printf.printf "achieved ratio: %s\n"
+    (Dt_report.Table.fmt_ratio (Dt_core.Metrics.ratio instance sched))
+
+let recommend_cmd =
+  Cmd.v
+    (Cmd.info "recommend" ~doc:"Recommend a heuristic (Table 6 of the paper as code)")
+    Term.(const recommend $ trace_arg $ factor_arg)
+
+(* ------------------------------------------------------------------ *)
+(* svg                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let svg trace_path heuristic factor head out =
+  let trace, _ = load_instance trace_path ~factor in
+  let tasks = trace.Dt_trace.Trace.tasks in
+  let tasks = match head with None -> tasks | Some n -> List.filteri (fun i _ -> i < n) tasks in
+  let m_c =
+    List.fold_left (fun a (t : Dt_core.Task.t) -> Float.max a t.Dt_core.Task.mem) 0.0 tasks
+  in
+  let instance = Dt_core.Instance.make_keep_ids ~capacity:(m_c *. factor) tasks in
+  let sched = Dt_core.Heuristic.run heuristic instance in
+  Dt_report.Svg.save ~path:out sched;
+  Printf.printf "wrote %s (%s, %d tasks, makespan %g)\n" out
+    (Dt_core.Heuristic.name heuristic) (List.length tasks)
+    (Dt_core.Schedule.makespan sched)
+
+let svg_cmd =
+  let head =
+    Arg.(
+      value & opt (some int) (Some 30)
+      & info [ "head" ] ~docv:"N" ~doc:"Only schedule the first N tasks (default 30).")
+  in
+  let out =
+    Arg.(value & opt string "schedule.svg" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output SVG.")
+  in
+  Cmd.v
+    (Cmd.info "svg" ~doc:"Render a schedule as an SVG Gantt chart")
+    Term.(const svg $ trace_arg $ heuristic_arg $ factor_arg $ head $ out)
+
+(* ------------------------------------------------------------------ *)
+(* fleet                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fleet dir prefix factor =
+  let traces = Dt_trace.Trace.load_set ~dir ~prefix in
+  if Array.length traces = 0 then begin
+    Printf.eprintf "no %s-p*.trace files under %s\n" prefix dir;
+    exit 1
+  end;
+  let submission =
+    Dt_trace.Fleet.run ~capacity_factor:factor
+      (Dt_trace.Fleet.Fixed (Dt_core.Heuristic.Static Dt_core.Static_rules.OS))
+      traces
+  in
+  let portfolio =
+    Dt_trace.Fleet.run ~capacity_factor:factor
+      (Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all) traces
+  in
+  let row name (o : Dt_trace.Fleet.outcome) =
+    [
+      name;
+      Printf.sprintf "%.6g" o.Dt_trace.Fleet.application_makespan;
+      Dt_report.Table.fmt_ratio o.Dt_trace.Fleet.mean_ratio;
+      Dt_report.Table.fmt_ratio o.Dt_trace.Fleet.worst_ratio;
+      Printf.sprintf "%.2fx" (Dt_trace.Fleet.speedup_over_submission o ~submission);
+    ]
+  in
+  Dt_report.Table.print
+    ~header:[ "policy"; "app makespan"; "mean ratio"; "worst ratio"; "speedup" ]
+    [ row "submission order" submission; row "portfolio" portfolio ]
+
+let fleet_cmd =
+  let dir =
+    Arg.(value & opt dir "traces" & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Trace directory.")
+  in
+  let prefix =
+    Arg.(value & opt string "hf" & info [ "p"; "prefix" ] ~docv:"P" ~doc:"Trace prefix.")
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc:"Whole-application comparison across all process traces")
+    Term.(const fleet $ dir $ prefix $ factor_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chem                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let chem molecule =
+  let m =
+    match molecule with
+    | `H2 -> Dt_chem.Molecule.h2 ()
+    | `Heh_plus -> Dt_chem.Molecule.heh_plus ()
+  in
+  let r = Dt_chem.Ccsd.run m in
+  let scf = r.Dt_chem.Ccsd.scf in
+  Printf.printf "%s: RHF energy    = %.6f hartree (%d iterations)\n" m.Dt_chem.Molecule.name
+    scf.Dt_chem.Scf.energy scf.Dt_chem.Scf.iterations;
+  Printf.printf "%s: CCSD corr     = %.6f hartree (%d iterations)\n" m.Dt_chem.Molecule.name
+    r.Dt_chem.Ccsd.correlation_energy r.Dt_chem.Ccsd.iterations;
+  Printf.printf "%s: CCSD total    = %.6f hartree\n" m.Dt_chem.Molecule.name
+    r.Dt_chem.Ccsd.total_energy
+
+let chem_cmd =
+  let molecule =
+    Arg.(
+      value
+      & opt (enum [ ("h2", `H2); ("heh+", `Heh_plus) ]) `H2
+      & info [ "m"; "molecule" ] ~docv:"MOL" ~doc:"h2 or heh+.")
+  in
+  Cmd.v
+    (Cmd.info "chem" ~doc:"Run the numeric HF and CCSD kernels")
+    Term.(const chem $ molecule)
+
+let () =
+  let doc = "data-transfer scheduling for communication/computation overlap" in
+  let info = Cmd.info "dtsched" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; run_cmd; compare_cmd; recommend_cmd; gantt_cmd; svg_cmd; fleet_cmd;
+            workchar_cmd; chem_cmd;
+          ]))

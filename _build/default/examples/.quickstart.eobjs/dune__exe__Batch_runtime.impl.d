@@ -1,0 +1,1 @@
+examples/batch_runtime.ml: Batched Corrected_rules Dt_chem Dt_core Dt_ga Dt_report Dynamic_rules Float Heuristic Instance List Metrics Printf Static_rules Task

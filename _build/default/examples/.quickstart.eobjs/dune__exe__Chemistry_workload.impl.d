@@ -1,0 +1,1 @@
+examples/chemistry_workload.ml: Dt_chem Dt_core Dt_ga Dt_report Dt_trace Heuristic List Metrics Printf

@@ -1,0 +1,1 @@
+examples/dag_pipeline.ml: Corrected_rules Dag Dt_core Dt_report Dt_stats Dynamic_rules Heuristic List Printf Schedule Static_rules

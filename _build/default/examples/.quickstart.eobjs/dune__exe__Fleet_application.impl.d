@@ -1,0 +1,1 @@
+examples/fleet_application.ml: Array Dt_chem Dt_core Dt_ga Dt_report Dt_trace Fleet Hashtbl Option Printf Trace

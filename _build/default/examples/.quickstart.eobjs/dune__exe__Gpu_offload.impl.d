@@ -1,0 +1,1 @@
+examples/gpu_offload.ml: Dt_core Dt_ga Dt_report Dt_stats Float Heuristic Instance Johnson List Metrics Printf Task

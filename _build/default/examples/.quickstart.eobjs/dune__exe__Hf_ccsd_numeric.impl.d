@@ -1,0 +1,1 @@
+examples/hf_ccsd_numeric.ml: Dt_chem Dt_report Dt_stats Dt_tensor Format List Printf

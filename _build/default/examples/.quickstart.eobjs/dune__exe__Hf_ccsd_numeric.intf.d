@@ -1,0 +1,1 @@
+examples/hf_ccsd_numeric.mli:

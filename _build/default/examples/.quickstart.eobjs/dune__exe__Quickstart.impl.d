@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corrected_rules Dt_core Dt_report Heuristic Instance Johnson List Metrics Printf Schedule Task

@@ -1,0 +1,49 @@
+(* A task-based runtime rarely sees the whole workload at once: tasks
+   arrive in windows (Section 6.3 of the paper schedules in batches of
+   100). This example measures how the window size changes the achieved
+   overlap, using a CCSD stream under a moderate memory budget.
+
+   Run with: dune exec examples/batch_runtime.exe *)
+
+open Dt_core
+
+let () =
+  let cluster = Dt_ga.Cluster.cascade in
+  let tasks = Dt_chem.Workload.ccsd_tasks ~seed:3 ~cluster ~n_occ:29 ~n_virt:420 ~proc:1 () in
+  let m_c = List.fold_left (fun a (t : Task.t) -> Float.max a t.Task.mem) 0.0 tasks in
+  let instance = Instance.make ~capacity:(1.5 *. m_c) tasks in
+  Printf.printf "CCSD stream: %d tasks, C = 1.5 m_c\n\n" (Instance.size instance);
+  let heuristics =
+    Heuristic.
+      [
+        Static Static_rules.OS;
+        Static Static_rules.OOSIM;
+        Dynamic Dynamic_rules.LCMR;
+        Corrected Corrected_rules.OOSCMR;
+      ]
+  in
+  let batches = [ 10; 50; 100; 400; Instance.size instance ] in
+  let header =
+    "heuristic"
+    :: List.map
+         (fun b -> if b >= Instance.size instance then "all" else string_of_int b)
+         batches
+  in
+  let rows =
+    List.map
+      (fun h ->
+        Heuristic.name h
+        :: List.map
+             (fun b ->
+               Dt_report.Table.fmt_ratio
+                 (Metrics.ratio instance (Batched.run ~batch:b h instance)))
+             batches)
+      heuristics
+  in
+  Dt_report.Table.print ~header rows;
+  Printf.printf
+    "\nColumns are scheduler window sizes (tasks visible at once). The window\n\
+     barely hurts the adaptive heuristics — a ~100-task window (the paper's\n\
+     batch) already behaves like full lookahead — and it can even help a pure\n\
+     static order by stopping it from drifting too far from the arrival order\n\
+     under memory pressure.\n"

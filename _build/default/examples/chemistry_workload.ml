@@ -1,0 +1,49 @@
+(* The paper's own use case: per-process task streams of the NWChem-style
+   HF and CCSD kernels on a 10-node cluster, and the gain a runtime gets
+   from ordering the Global Arrays transfers well.
+
+   Run with: dune exec examples/chemistry_workload.exe *)
+
+open Dt_core
+
+let cluster = Dt_ga.Cluster.cascade
+
+let describe name tasks =
+  let trace = Dt_trace.Trace.make ~name tasks in
+  let c = Dt_trace.Workchar.of_trace trace in
+  Printf.printf "%s: %d tasks, m_c = %.3g bytes, comm/OMIM = %.2f, comp/OMIM = %.2f\n" name
+    c.Dt_trace.Workchar.tasks c.Dt_trace.Workchar.m_c c.Dt_trace.Workchar.norm_comm
+    c.Dt_trace.Workchar.norm_comp;
+  Printf.printf "  perfect overlap could hide %.0f%% of the sequential makespan\n"
+    (100.0 *. Dt_trace.Workchar.max_overlap_fraction c);
+  trace
+
+let compare_heuristics trace =
+  let m_c = Dt_trace.Trace.min_capacity trace in
+  let header = "heuristic" :: List.map (fun f -> Printf.sprintf "%gm_c" f) [ 1.0; 1.5; 2.0 ] in
+  let rows =
+    List.map
+      (fun h ->
+        Heuristic.name h
+        :: List.map
+             (fun f ->
+               let instance = Dt_trace.Trace.to_instance trace ~capacity:(m_c *. f) in
+               Dt_report.Table.fmt_ratio (Metrics.ratio instance (Heuristic.run h instance)))
+             [ 1.0; 1.5; 2.0 ])
+      Heuristic.all
+  in
+  Dt_report.Table.print ~header rows
+
+let () =
+  Printf.printf "cluster: %d nodes x %d cores -> %d worker processes\n\n"
+    cluster.Dt_ga.Cluster.nodes cluster.Dt_ga.Cluster.cores_per_node
+    (Dt_ga.Cluster.processes cluster);
+  let hf = Dt_chem.Workload.hf_tasks ~seed:7 ~cluster ~nbf:3000 ~proc:0 () in
+  let hf_trace = describe "HF (SiOSi, tile 100)" hf in
+  print_newline ();
+  compare_heuristics hf_trace;
+  print_newline ();
+  let ccsd = Dt_chem.Workload.ccsd_tasks ~seed:7 ~cluster ~n_occ:29 ~n_virt:420 ~proc:0 () in
+  let ccsd_trace = describe "CCSD (uracil, automatic tiles)" ccsd in
+  print_newline ();
+  compare_heuristics ccsd_trace

@@ -1,0 +1,47 @@
+(* The whole-application view: 150 worker processes each order their own
+   transfers; the run ends when the slowest process does. Compares the
+   submission-order baseline, a fixed well-chosen heuristic, and the
+   per-process portfolio selector (the runtime-system direction the
+   paper's conclusion announces).
+
+   Run with: dune exec examples/fleet_application.exe *)
+
+open Dt_trace
+
+let () =
+  let cluster = Dt_ga.Cluster.cascade in
+  let lists = Dt_chem.Workload.ccsd_trace_set ~seed:42 ~cluster ~n_occ:29 ~n_virt:420 () in
+  let traces = Array.sub (Trace.of_task_lists ~prefix:"ccsd" lists) 0 30 in
+  Printf.printf "CCSD application slice: %d processes, %d-%d tasks each\n\n"
+    (Array.length traces)
+    (Array.fold_left (fun a t -> min a (Trace.size t)) max_int traces)
+    (Array.fold_left (fun a t -> max a (Trace.size t)) 0 traces);
+  let submission =
+    Fleet.run (Fleet.Fixed (Dt_core.Heuristic.Static Dt_core.Static_rules.OS)) traces
+  in
+  let fixed =
+    Fleet.run (Fleet.Fixed (Dt_core.Heuristic.Corrected Dt_core.Corrected_rules.OOSCMR)) traces
+  in
+  let portfolio = Fleet.run (Fleet.Portfolio Dt_core.Heuristic.all) traces in
+  let row name (o : Fleet.outcome) =
+    [
+      name;
+      Printf.sprintf "%.3f" o.Fleet.application_makespan;
+      Dt_report.Table.fmt_ratio o.Fleet.mean_ratio;
+      Dt_report.Table.fmt_ratio o.Fleet.worst_ratio;
+      Printf.sprintf "%.2fx" (Fleet.speedup_over_submission o ~submission);
+    ]
+  in
+  Dt_report.Table.print
+    ~header:[ "policy"; "app makespan (s)"; "mean ratio"; "worst ratio"; "speedup" ]
+    [ row "submission order" submission; row "fixed OOSCMR" fixed; row "portfolio" portfolio ];
+  (* which heuristics did the portfolio pick? *)
+  let votes = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      let k = Dt_core.Heuristic.name p.Fleet.chosen in
+      Hashtbl.replace votes k (1 + Option.value ~default:0 (Hashtbl.find_opt votes k)))
+    portfolio.Fleet.processes;
+  Printf.printf "\nportfolio winners per process:";
+  Hashtbl.iter (fun k v -> Printf.printf " %s x%d" k v) votes;
+  print_newline ()

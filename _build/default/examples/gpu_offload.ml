@@ -1,0 +1,65 @@
+(* CPU -> GPU offloading: the scenario the paper's conclusion points at.
+
+   A GPU has one copy engine per direction, so all host-to-device input
+   transfers share a single link — exactly the DT model with the GPU's
+   free memory as the capacity. We build a stream of kernels (tiled GEMMs
+   and memory-bound stencils), derive transfer/compute times from a
+   PCIe+GPU machine model, and compare transfer orders across VRAM
+   budgets.
+
+   Run with: dune exec examples/gpu_offload.exe *)
+
+open Dt_core
+
+let gpu = Dt_ga.Cluster.gpu_node
+
+let kernels rng n =
+  List.init n (fun id ->
+      if Dt_stats.Rng.float rng 1.0 < 0.6 then begin
+        (* compute-bound tiled GEMM: 3 square tiles in, O(t^3) flops *)
+        let t = 256 * (2 + Dt_stats.Rng.int rng 6) in
+        let bytes = 3.0 *. 8.0 *. float_of_int (t * t) in
+        let flops = 2.0 *. (float_of_int t ** 3.0) in
+        Task.make ~id
+          ~label:(Printf.sprintf "gemm%d" t)
+          ~comm:(Dt_ga.Cluster.comm_time gpu ~bytes)
+          ~comp:(Dt_ga.Cluster.comp_time gpu ~flops)
+          ~mem:bytes ()
+      end
+      else begin
+        (* bandwidth-bound stencil: big input, few flops per byte *)
+        let cells = 1 lsl (18 + Dt_stats.Rng.int rng 7) in
+        let bytes = 8.0 *. float_of_int cells in
+        let flops = 12.0 *. float_of_int cells in
+        Task.make ~id
+          ~label:(Printf.sprintf "stencil%d" cells)
+          ~comm:(Dt_ga.Cluster.comm_time gpu ~bytes)
+          ~comp:(Dt_ga.Cluster.comp_time gpu ~flops)
+          ~mem:bytes ()
+      end)
+
+let () =
+  let rng = Dt_stats.Rng.create 2024 in
+  let tasks = kernels rng 120 in
+  let m_c = List.fold_left (fun a (t : Task.t) -> Float.max a t.Task.mem) 0.0 tasks in
+  Printf.printf "120 kernels; largest input %.1f MB; OMIM %.3f ms\n\n" (m_c /. 1e6)
+    (1e3 *. Johnson.omim tasks);
+  let header =
+    "heuristic"
+    :: List.map (fun f -> Printf.sprintf "VRAM=%.2gxMax" f) [ 1.0; 1.5; 2.0; 4.0; 8.0 ]
+  in
+  let rows =
+    List.map
+      (fun h ->
+        Heuristic.name h
+        :: List.map
+             (fun f ->
+               let instance = Instance.make ~capacity:(m_c *. f) tasks in
+               Dt_report.Table.fmt_ratio (Metrics.ratio instance (Heuristic.run h instance)))
+             [ 1.0; 1.5; 2.0; 4.0; 8.0 ])
+      Heuristic.all
+  in
+  Dt_report.Table.print ~header rows;
+  Printf.printf
+    "\nWith a roomy VRAM budget every order pipelines perfectly (ratio 1); under\n\
+     pressure the corrected orders keep the copy engine busy the longest.\n"

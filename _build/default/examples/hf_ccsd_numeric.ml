@@ -1,0 +1,40 @@
+(* The chemistry kernels are real: this example runs the numeric
+   Hartree-Fock and coupled-cluster codes on small molecules, tracing a
+   slice of the H2 dissociation curve. For two-electron systems CCSD is
+   exact, so the CCSD column is the full-CI curve in this basis.
+
+   Run with: dune exec examples/hf_ccsd_numeric.exe *)
+
+let () =
+  Printf.printf "H2 / STO-3G dissociation (energies in hartree):\n\n";
+  let header = [ "R (bohr)"; "RHF"; "CCSD"; "corr" ] in
+  let rows =
+    List.map
+      (fun r ->
+        let res = Dt_chem.Ccsd.run (Dt_chem.Molecule.h2 ~distance:r ()) in
+        [
+          Printf.sprintf "%.2f" r;
+          Printf.sprintf "%.6f" res.Dt_chem.Ccsd.scf.Dt_chem.Scf.energy;
+          Printf.sprintf "%.6f" res.Dt_chem.Ccsd.total_energy;
+          Printf.sprintf "%.6f" res.Dt_chem.Ccsd.correlation_energy;
+        ])
+      [ 1.0; 1.2; 1.4; 1.6; 2.0; 2.5; 3.0 ]
+  in
+  Dt_report.Table.print ~header rows;
+  Printf.printf
+    "\nAt R = 1.4 bohr the textbook values are RHF = -1.1167 and full CI = -1.1373;\n\
+     correlation grows as the bond stretches (RHF's single determinant fails),\n\
+     which is the classic motivation for coupled-cluster methods.\n\n";
+  let heh = Dt_chem.Ccsd.run (Dt_chem.Molecule.heh_plus ()) in
+  Printf.printf "HeH+ / STO-3G: RHF %.6f, CCSD %.6f hartree\n"
+    heh.Dt_chem.Ccsd.scf.Dt_chem.Scf.energy heh.Dt_chem.Ccsd.total_energy;
+  (* The tiled versions of these kernels are what produce the scheduling
+     workloads; show the correspondence on a tiny tensor contraction. *)
+  let rng = Dt_stats.Rng.create 1 in
+  let a = Dt_tensor.Dense.random rng (Dt_tensor.Shape.of_list [ 6; 8 ]) in
+  let b = Dt_tensor.Dense.random rng (Dt_tensor.Shape.of_list [ 8; 5 ]) in
+  let c = Dt_tensor.Ops.matmul a b in
+  Printf.printf
+    "\ntensor substrate check: (6x8) x (8x5) contraction -> %s, %g flops modelled\n"
+    (Format.asprintf "%a" Dt_tensor.Shape.pp (Dt_tensor.Dense.shape c))
+    (Dt_tensor.Ops.contract_flops a b ~axes:[ (1, 0) ])

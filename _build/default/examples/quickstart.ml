@@ -1,0 +1,42 @@
+(* Quickstart: define a handful of tasks, pick a memory capacity, and see
+   what transfer order each family of heuristics chooses.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Dt_core
+
+let () =
+  (* Five tasks heading for an accelerator with 9 units of memory. Each
+     task needs its input on the device from the start of its transfer to
+     the end of its computation (the DT model of the paper). Memory
+     defaults to the communication time, i.e. transfer volume in
+     link-time units. *)
+  let instance =
+    Instance.make ~capacity:9.0
+      [
+        Task.make ~id:0 ~label:"A" ~comm:4.0 ~comp:1.0 ();
+        Task.make ~id:1 ~label:"B" ~comm:2.0 ~comp:6.0 ();
+        Task.make ~id:2 ~label:"C" ~comm:8.0 ~comp:8.0 ();
+        Task.make ~id:3 ~label:"D" ~comm:5.0 ~comp:4.0 ();
+        Task.make ~id:4 ~label:"E" ~comm:3.0 ~comp:2.0 ();
+      ]
+  in
+  (* The infinite-memory optimum (Johnson's algorithm) is the lower bound
+     every heuristic is measured against. *)
+  let omim = Johnson.omim (Instance.task_list instance) in
+  Printf.printf "OMIM lower bound: %g\n\n" omim;
+  List.iter
+    (fun h ->
+      let sched = Heuristic.run h instance in
+      (match Schedule.check sched with
+      | Ok () -> ()
+      | Error v -> failwith (Schedule.violation_to_string v));
+      Printf.printf "%-6s (%s): makespan %g, ratio %.3f\n" (Heuristic.name h)
+        (Heuristic.category_name (Heuristic.category h))
+        (Schedule.makespan sched)
+        (Metrics.ratio instance sched))
+    Heuristic.all;
+  (* Show one schedule in detail. *)
+  let best = Heuristic.Corrected Corrected_rules.OOLCMR in
+  Printf.printf "\n%s schedule:\n" (Heuristic.name best);
+  Dt_report.Gantt.print (Heuristic.run best instance)

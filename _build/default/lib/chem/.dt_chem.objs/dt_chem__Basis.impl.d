@@ -1,0 +1,1 @@
+lib/chem/basis.ml: Float List Molecule Printf

@@ -1,0 +1,1 @@
+lib/chem/basis.mli: Molecule

@@ -1,0 +1,1 @@
+lib/chem/ccsd.ml: Array Basis Dense Dt_tensor Float Integrals Molecule Scf

@@ -1,0 +1,1 @@
+lib/chem/ccsd.mli: Molecule Scf

@@ -1,0 +1,1 @@
+lib/chem/integrals.ml: Array Basis Dt_tensor Float List Molecule

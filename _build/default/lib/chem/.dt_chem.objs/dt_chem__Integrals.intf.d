@@ -1,0 +1,1 @@
+lib/chem/integrals.mli: Basis Dt_tensor Molecule

@@ -1,0 +1,1 @@
+lib/chem/scf.ml: Array Basis Dense Dt_tensor Float Integrals Linalg Molecule Ops Shape

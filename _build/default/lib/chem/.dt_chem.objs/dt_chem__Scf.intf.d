@@ -1,0 +1,1 @@
+lib/chem/scf.mli: Dt_tensor Molecule

@@ -1,0 +1,1 @@
+lib/chem/tiled_hf.ml: Array Basis Dense Dt_tensor Float Integrals Linalg List Molecule Ops Shape Tile

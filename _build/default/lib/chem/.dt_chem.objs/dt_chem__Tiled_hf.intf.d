@@ -1,0 +1,1 @@
+lib/chem/tiled_hf.mli: Basis Dt_tensor Molecule

@@ -1,0 +1,1 @@
+lib/chem/workload.ml: Array Cluster Dt_core Dt_ga Dt_stats Dt_tensor Float Garray List Printf

@@ -1,0 +1,1 @@
+lib/chem/workload.mli: Dt_core Dt_ga

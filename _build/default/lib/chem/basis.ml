@@ -1,0 +1,34 @@
+type primitive = {
+  exponent : float;
+  coefficient : float;
+}
+
+type shell = {
+  center : float * float * float;
+  primitives : primitive list;
+}
+
+(* STO-3G exponents and contraction coefficients (EMSL basis set
+   exchange). The coefficients stored here fold in the primitive
+   normalisation (2a/pi)^(3/4). *)
+let sto3g_params = function
+  | "H" -> [ (3.42525091, 0.15432897); (0.62391373, 0.53532814); (0.16885540, 0.44463454) ]
+  | "He" -> [ (6.36242139, 0.15432897); (1.15892300, 0.53532814); (0.31364979, 0.44463454) ]
+  | s -> invalid_arg (Printf.sprintf "Basis: no numeric STO-3G parameters for %s" s)
+
+let primitive_norm exponent = ((2.0 *. exponent) /. Float.pi) ** 0.75
+
+let sto3g_shell ~center ~element =
+  let primitives =
+    List.map
+      (fun (exponent, c) -> { exponent; coefficient = c *. primitive_norm exponent })
+      (sto3g_params element)
+  in
+  { center; primitives }
+
+let of_molecule (m : Molecule.t) =
+  List.map
+    (fun (a : Molecule.atom) -> sto3g_shell ~center:a.Molecule.position ~element:a.Molecule.symbol)
+    m.Molecule.atoms
+
+let size shells = List.length shells

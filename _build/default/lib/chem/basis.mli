@@ -1,0 +1,22 @@
+(** Minimal s-type Gaussian basis (STO-3G) for the numerically executed
+    systems (H and He). Each basis function is a normalised contraction
+    of three primitive s Gaussians centred on an atom. *)
+
+type primitive = {
+  exponent : float;
+  coefficient : float;  (** contraction coefficient times the primitive norm *)
+}
+
+type shell = {
+  center : float * float * float;
+  primitives : primitive list;
+}
+
+val sto3g_shell : center:float * float * float -> element:string -> shell
+(** Raises [Invalid_argument] for elements without an s-only STO-3G
+    parameterisation here (only H and He are supported numerically). *)
+
+val of_molecule : Molecule.t -> shell list
+(** One s shell per atom; raises on unsupported elements. *)
+
+val size : shell list -> int

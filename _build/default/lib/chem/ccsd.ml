@@ -1,0 +1,417 @@
+open Dt_tensor
+
+type result = {
+  scf : Scf.result;
+  correlation_energy : float;
+  total_energy : float;
+  iterations : int;
+  converged : bool;
+  t1_norm : float;
+}
+
+(* Antisymmetrised two-electron integrals <pq||rs> over molecular spin
+   orbitals, built from the AO integrals by the (naive, tiny-basis)
+   four-index transformation. Spin orbital 2k is the alpha and 2k+1 the
+   beta spin of spatial orbital k, with spatial orbitals in ascending
+   orbital energy, so the first 2*nocc spin orbitals are occupied. *)
+let spin_orbital_integrals (scf : Scf.result) ao_eri n =
+  let c = scf.Scf.mo_coefficients in
+  (* spatial MO integrals in chemists' notation (pq|rs) *)
+  let mo = Array.init (n * n * n * n) (fun _ -> 0.0) in
+  let idx p q r s = ((((p * n) + q) * n) + r) * n + s in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      for r = 0 to n - 1 do
+        for s = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for mu = 0 to n - 1 do
+            for nu = 0 to n - 1 do
+              for la = 0 to n - 1 do
+                for si = 0 to n - 1 do
+                  acc :=
+                    !acc
+                    +. (Dense.get c [| mu; p |] *. Dense.get c [| nu; q |]
+                       *. Dense.get c [| la; r |] *. Dense.get c [| si; s |]
+                       *. Dense.get ao_eri [| mu; nu; la; si |])
+                done
+              done
+            done
+          done;
+          mo.(idx p q r s) <- !acc
+        done
+      done
+    done
+  done;
+  let nso = 2 * n in
+  let so = Array.make (nso * nso * nso * nso) 0.0 in
+  let sidx p q r s = ((((p * nso) + q) * nso) + r) * nso + s in
+  let spatial p = p / 2 and spin p = p mod 2 in
+  for p = 0 to nso - 1 do
+    for q = 0 to nso - 1 do
+      for r = 0 to nso - 1 do
+        for s = 0 to nso - 1 do
+          (* <pq|rs> = (pr|qs) delta(sp, sr) delta(sq, ss) *)
+          let coulomb =
+            if spin p = spin r && spin q = spin s then
+              mo.(idx (spatial p) (spatial r) (spatial q) (spatial s))
+            else 0.0
+          and exchange =
+            if spin p = spin s && spin q = spin r then
+              mo.(idx (spatial p) (spatial s) (spatial q) (spatial r))
+            else 0.0
+          in
+          so.(sidx p q r s) <- coulomb -. exchange
+        done
+      done
+    done
+  done;
+  (so, sidx)
+
+let mp2_correlation molecule =
+  let scf = Scf.run molecule in
+  let shells = Basis.of_molecule molecule in
+  let n = Basis.size shells in
+  let nocc_sp = Molecule.occupied_orbitals molecule in
+  let ao_eri = Integrals.eri_tensor shells in
+  let so, sidx = spin_orbital_integrals scf ao_eri n in
+  let nso = 2 * n in
+  let no = 2 * nocc_sp in
+  let nv = nso - no in
+  let fso p = scf.Scf.orbital_energies.(p / 2) in
+  let v a = no + a in
+  let acc = ref 0.0 in
+  for i = 0 to no - 1 do
+    for j = 0 to no - 1 do
+      for a = 0 to nv - 1 do
+        for b = 0 to nv - 1 do
+          let num = so.(sidx i j (v a) (v b)) in
+          let den = fso i +. fso j -. fso (v a) -. fso (v b) in
+          acc := !acc +. (0.25 *. num *. num /. den)
+        done
+      done
+    done
+  done;
+  !acc
+
+let run ?(max_iterations = 200) ?(tolerance = 1e-10) molecule =
+  let scf = Scf.run molecule in
+  let shells = Basis.of_molecule molecule in
+  let n = Basis.size shells in
+  let nocc_sp = Molecule.occupied_orbitals molecule in
+  let ao_eri = Integrals.eri_tensor shells in
+  let so, sidx = spin_orbital_integrals scf ao_eri n in
+  let nso = 2 * n in
+  let no = 2 * nocc_sp in
+  let nv = nso - no in
+  let fso p = scf.Scf.orbital_energies.(p / 2) in
+  (* amplitudes: t1.(i).(a), t2.(i).(j).(a).(b) with i,j occupied (< no)
+     and a,b virtual offsets (0-based into the virtual block) *)
+  let t1 = Array.make_matrix no nv 0.0 in
+  let t2 = Array.init no (fun _ -> Array.init no (fun _ -> Array.make_matrix nv nv 0.0)) in
+  let v a = no + a in
+  let d1 i a = fso i -. fso (v a) in
+  let d2 i j a b = fso i +. fso j -. fso (v a) -. fso (v b) in
+  (* MP2 start *)
+  for i = 0 to no - 1 do
+    for j = 0 to no - 1 do
+      for a = 0 to nv - 1 do
+        for b = 0 to nv - 1 do
+          t2.(i).(j).(a).(b) <- so.(sidx i j (v a) (v b)) /. d2 i j a b
+        done
+      done
+    done
+  done;
+  let tau_tilde i j a b =
+    t2.(i).(j).(a).(b)
+    +. (0.5 *. ((t1.(i).(a) *. t1.(j).(b)) -. (t1.(i).(b) *. t1.(j).(a))))
+  and tau i j a b =
+    t2.(i).(j).(a).(b) +. (t1.(i).(a) *. t1.(j).(b)) -. (t1.(i).(b) *. t1.(j).(a))
+  in
+  let correlation () =
+    let acc = ref 0.0 in
+    for i = 0 to no - 1 do
+      for j = 0 to no - 1 do
+        for a = 0 to nv - 1 do
+          for b = 0 to nv - 1 do
+            acc :=
+              !acc
+              +. (0.25 *. so.(sidx i j (v a) (v b)) *. t2.(i).(j).(a).(b))
+              +. (0.5 *. so.(sidx i j (v a) (v b)) *. t1.(i).(a) *. t1.(j).(b))
+          done
+        done
+      done
+    done;
+    !acc
+  in
+  let energy = ref (correlation ()) in
+  let iter = ref 0 and converged = ref false in
+  while (not !converged) && !iter < max_iterations do
+    incr iter;
+    (* Stanton et al. intermediates. The Fock matrix is diagonal in the
+       canonical basis, so every off-diagonal f term vanishes. *)
+    let fae = Array.make_matrix nv nv 0.0 in
+    for a = 0 to nv - 1 do
+      for e = 0 to nv - 1 do
+        let acc = ref 0.0 in
+        for m = 0 to no - 1 do
+          for f = 0 to nv - 1 do
+            acc := !acc +. (t1.(m).(f) *. so.(sidx m (v a) (v f) (v e)))
+          done
+        done;
+        for m = 0 to no - 1 do
+          for nn = 0 to no - 1 do
+            for f = 0 to nv - 1 do
+              acc := !acc -. (0.5 *. tau_tilde m nn a f *. so.(sidx m nn (v e) (v f)))
+            done
+          done
+        done;
+        fae.(a).(e) <- !acc
+      done
+    done;
+    let fmi = Array.make_matrix no no 0.0 in
+    for m = 0 to no - 1 do
+      for i = 0 to no - 1 do
+        let acc = ref 0.0 in
+        for e = 0 to nv - 1 do
+          for nn = 0 to no - 1 do
+            acc := !acc +. (t1.(nn).(e) *. so.(sidx m nn i (v e)))
+          done
+        done;
+        for nn = 0 to no - 1 do
+          for e = 0 to nv - 1 do
+            for f = 0 to nv - 1 do
+              acc := !acc +. (0.5 *. tau_tilde i nn e f *. so.(sidx m nn (v e) (v f)))
+            done
+          done
+        done;
+        fmi.(m).(i) <- !acc
+      done
+    done;
+    let fme = Array.make_matrix no nv 0.0 in
+    for m = 0 to no - 1 do
+      for e = 0 to nv - 1 do
+        let acc = ref 0.0 in
+        for nn = 0 to no - 1 do
+          for f = 0 to nv - 1 do
+            acc := !acc +. (t1.(nn).(f) *. so.(sidx m nn (v e) (v f)))
+          done
+        done;
+        fme.(m).(e) <- !acc
+      done
+    done;
+    let wmnij = Array.init no (fun _ -> Array.init no (fun _ -> Array.make_matrix no no 0.0)) in
+    for m = 0 to no - 1 do
+      for nn = 0 to no - 1 do
+        for i = 0 to no - 1 do
+          for j = 0 to no - 1 do
+            let acc = ref so.(sidx m nn i j) in
+            for e = 0 to nv - 1 do
+              acc :=
+                !acc
+                +. (t1.(j).(e) *. so.(sidx m nn i (v e)))
+                -. (t1.(i).(e) *. so.(sidx m nn j (v e)))
+            done;
+            for e = 0 to nv - 1 do
+              for f = 0 to nv - 1 do
+                acc := !acc +. (0.25 *. tau i j e f *. so.(sidx m nn (v e) (v f)))
+              done
+            done;
+            wmnij.(m).(nn).(i).(j) <- !acc
+          done
+        done
+      done
+    done;
+    let wabef = Array.init nv (fun _ -> Array.init nv (fun _ -> Array.make_matrix nv nv 0.0)) in
+    for a = 0 to nv - 1 do
+      for b = 0 to nv - 1 do
+        for e = 0 to nv - 1 do
+          for f = 0 to nv - 1 do
+            let acc = ref so.(sidx (v a) (v b) (v e) (v f)) in
+            for m = 0 to no - 1 do
+              acc :=
+                !acc
+                -. (t1.(m).(b) *. so.(sidx (v a) m (v e) (v f)))
+                +. (t1.(m).(a) *. so.(sidx (v b) m (v e) (v f)))
+            done;
+            for m = 0 to no - 1 do
+              for nn = 0 to no - 1 do
+                acc := !acc +. (0.25 *. tau m nn a b *. so.(sidx m nn (v e) (v f)))
+              done
+            done;
+            wabef.(a).(b).(e).(f) <- !acc
+          done
+        done
+      done
+    done;
+    let wmbej = Array.init no (fun _ -> Array.init nv (fun _ -> Array.make_matrix nv no 0.0)) in
+    for m = 0 to no - 1 do
+      for b = 0 to nv - 1 do
+        for e = 0 to nv - 1 do
+          for j = 0 to no - 1 do
+            let acc = ref so.(sidx m (v b) (v e) j) in
+            for f = 0 to nv - 1 do
+              acc := !acc +. (t1.(j).(f) *. so.(sidx m (v b) (v e) (v f)))
+            done;
+            for nn = 0 to no - 1 do
+              acc := !acc -. (t1.(nn).(b) *. so.(sidx m nn (v e) j))
+            done;
+            for nn = 0 to no - 1 do
+              for f = 0 to nv - 1 do
+                acc :=
+                  !acc
+                  -. (((0.5 *. t2.(j).(nn).(f).(b)) +. (t1.(j).(f) *. t1.(nn).(b)))
+                     *. so.(sidx m nn (v e) (v f)))
+              done
+            done;
+            wmbej.(m).(b).(e).(j) <- !acc
+          done
+        done
+      done
+    done;
+    (* T1 update *)
+    let t1' = Array.make_matrix no nv 0.0 in
+    for i = 0 to no - 1 do
+      for a = 0 to nv - 1 do
+        let acc = ref 0.0 in
+        for e = 0 to nv - 1 do
+          acc := !acc +. (t1.(i).(e) *. fae.(a).(e))
+        done;
+        for m = 0 to no - 1 do
+          acc := !acc -. (t1.(m).(a) *. fmi.(m).(i))
+        done;
+        for m = 0 to no - 1 do
+          for e = 0 to nv - 1 do
+            acc := !acc +. (t2.(i).(m).(a).(e) *. fme.(m).(e))
+          done
+        done;
+        for nn = 0 to no - 1 do
+          for f = 0 to nv - 1 do
+            acc := !acc -. (t1.(nn).(f) *. so.(sidx nn (v a) i (v f)))
+          done
+        done;
+        for m = 0 to no - 1 do
+          for e = 0 to nv - 1 do
+            for f = 0 to nv - 1 do
+              acc := !acc -. (0.5 *. t2.(i).(m).(e).(f) *. so.(sidx m (v a) (v e) (v f)))
+            done
+          done
+        done;
+        for m = 0 to no - 1 do
+          for e = 0 to nv - 1 do
+            for nn = 0 to no - 1 do
+              acc := !acc -. (0.5 *. t2.(m).(nn).(a).(e) *. so.(sidx nn m (v e) i))
+            done
+          done
+        done;
+        t1'.(i).(a) <- acc.contents /. d1 i a
+      done
+    done;
+    (* T2 update *)
+    let t2' = Array.init no (fun _ -> Array.init no (fun _ -> Array.make_matrix nv nv 0.0)) in
+    for i = 0 to no - 1 do
+      for j = 0 to no - 1 do
+        for a = 0 to nv - 1 do
+          for b = 0 to nv - 1 do
+            let acc = ref so.(sidx i j (v a) (v b)) in
+            (* P(ab) sum_e t_ij^ae (F_be - 1/2 sum_m t_m^b F_me) *)
+            for e = 0 to nv - 1 do
+              let fbe = ref fae.(b).(e) in
+              for m = 0 to no - 1 do
+                fbe := !fbe -. (0.5 *. t1.(m).(b) *. fme.(m).(e))
+              done;
+              acc := !acc +. (t2.(i).(j).(a).(e) *. !fbe);
+              let fae' = ref fae.(a).(e) in
+              for m = 0 to no - 1 do
+                fae' := !fae' -. (0.5 *. t1.(m).(a) *. fme.(m).(e))
+              done;
+              acc := !acc -. (t2.(i).(j).(b).(e) *. !fae')
+            done;
+            (* - P(ij) sum_m t_im^ab (F_mj + 1/2 sum_e t_j^e F_me) *)
+            for m = 0 to no - 1 do
+              let fmj = ref fmi.(m).(j) in
+              for e = 0 to nv - 1 do
+                fmj := !fmj +. (0.5 *. t1.(j).(e) *. fme.(m).(e))
+              done;
+              acc := !acc -. (t2.(i).(m).(a).(b) *. !fmj);
+              let fmi' = ref fmi.(m).(i) in
+              for e = 0 to nv - 1 do
+                fmi' := !fmi' +. (0.5 *. t1.(i).(e) *. fme.(m).(e))
+              done;
+              acc := !acc +. (t2.(j).(m).(a).(b) *. !fmi')
+            done;
+            (* 1/2 sum_mn tau_mn^ab W_mnij + 1/2 sum_ef tau_ij^ef W_abef *)
+            for m = 0 to no - 1 do
+              for nn = 0 to no - 1 do
+                acc := !acc +. (0.5 *. tau m nn a b *. wmnij.(m).(nn).(i).(j))
+              done
+            done;
+            for e = 0 to nv - 1 do
+              for f = 0 to nv - 1 do
+                acc := !acc +. (0.5 *. tau i j e f *. wabef.(a).(b).(e).(f))
+              done
+            done;
+            (* P(ij) P(ab) [ t_im^ae W_mbej - t_i^e t_m^a <mb||ej> ] *)
+            for m = 0 to no - 1 do
+              for e = 0 to nv - 1 do
+                acc :=
+                  !acc
+                  +. (t2.(i).(m).(a).(e) *. wmbej.(m).(b).(e).(j))
+                  -. (t1.(i).(e) *. t1.(m).(a) *. so.(sidx m (v b) (v e) j))
+                  -. ((t2.(j).(m).(a).(e) *. wmbej.(m).(b).(e).(i))
+                     -. (t1.(j).(e) *. t1.(m).(a) *. so.(sidx m (v b) (v e) i)))
+                  -. ((t2.(i).(m).(b).(e) *. wmbej.(m).(a).(e).(j))
+                     -. (t1.(i).(e) *. t1.(m).(b) *. so.(sidx m (v a) (v e) j)))
+                  +. (t2.(j).(m).(b).(e) *. wmbej.(m).(a).(e).(i))
+                  -. (t1.(j).(e) *. t1.(m).(b) *. so.(sidx m (v a) (v e) i))
+              done
+            done;
+            (* P(ij) sum_e t_i^e <ab||ej>  -  P(ab) sum_m t_m^a <mb||ij> *)
+            for e = 0 to nv - 1 do
+              acc :=
+                !acc
+                +. (t1.(i).(e) *. so.(sidx (v a) (v b) (v e) j))
+                -. (t1.(j).(e) *. so.(sidx (v a) (v b) (v e) i))
+            done;
+            for m = 0 to no - 1 do
+              acc :=
+                !acc
+                -. (t1.(m).(a) *. so.(sidx m (v b) i j))
+                +. (t1.(m).(b) *. so.(sidx m (v a) i j))
+            done;
+            t2'.(i).(j).(a).(b) <- acc.contents /. d2 i j a b
+          done
+        done
+      done
+    done;
+    for i = 0 to no - 1 do
+      for a = 0 to nv - 1 do
+        t1.(i).(a) <- t1'.(i).(a)
+      done
+    done;
+    for i = 0 to no - 1 do
+      for j = 0 to no - 1 do
+        for a = 0 to nv - 1 do
+          for b = 0 to nv - 1 do
+            t2.(i).(j).(a).(b) <- t2'.(i).(j).(a).(b)
+          done
+        done
+      done
+    done;
+    let e_new = correlation () in
+    if Float.abs (e_new -. !energy) < tolerance then converged := true;
+    energy := e_new
+  done;
+  let t1_norm =
+    sqrt
+      (Array.fold_left
+         (fun acc row -> Array.fold_left (fun acc x -> acc +. (x *. x)) acc row)
+         0.0 t1)
+  in
+  {
+    scf;
+    correlation_energy = !energy;
+    total_energy = scf.Scf.energy +. !energy;
+    iterations = !iter;
+    converged = !converged;
+    t1_norm;
+  }

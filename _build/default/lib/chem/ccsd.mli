@@ -1,0 +1,28 @@
+(** Coupled-cluster singles and doubles in the spin-orbital formulation
+    (Stanton, Gauss, Watts, Bartlett, J. Chem. Phys. 94, 4334 (1991)) —
+    the second chemistry kernel of the paper, executed numerically on the
+    small systems. For two-electron systems CCSD is exact (equals full
+    CI), which the tests exploit. *)
+
+type result = {
+  scf : Scf.result;
+  correlation_energy : float;  (** hartree, <= 0 around equilibrium *)
+  total_energy : float;        (** SCF energy + correlation *)
+  iterations : int;
+  converged : bool;
+  t1_norm : float;             (** Frobenius norm of the singles amplitudes *)
+}
+
+val run :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  Molecule.t ->
+  result
+(** Runs RHF first, transforms the integrals to the molecular spin-orbital
+    basis and iterates the T1/T2 amplitude equations to the requested
+    energy tolerance. *)
+
+val mp2_correlation : Molecule.t -> float
+(** Second-order Moller-Plesset correlation energy — the coupled-cluster
+    iteration's starting point ([1/4 sum <ij||ab> t2] with the MP2
+    amplitudes); a cheap sanity reference for the CCSD result. *)

@@ -1,0 +1,114 @@
+let dist2 (x1, y1, z1) (x2, y2, z2) =
+  ((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0) +. ((z1 -. z2) ** 2.0)
+
+let gaussian_product_center a (xa, ya, za) b (xb, yb, zb) =
+  let p = a +. b in
+  ( ((a *. xa) +. (b *. xb)) /. p,
+    ((a *. ya) +. (b *. yb)) /. p,
+    ((a *. za) +. (b *. zb)) /. p )
+
+(* Boys function of order zero. The series
+   F0(t) = e^{-t} sum_i (2t)^i / (2i+1)!!  converges quickly for t <= 35;
+   beyond that the asymptotic value (erf(sqrt t) ~ 1) is exact to machine
+   precision. *)
+let boys_f0 t =
+  if t < 1e-13 then 1.0
+  else if t > 35.0 then 0.5 *. sqrt (Float.pi /. t)
+  else begin
+    let acc = ref 1.0 and term = ref 1.0 and i = ref 0 in
+    while Float.abs !term > 1e-17 *. Float.abs !acc do
+      term := !term *. (2.0 *. t) /. float_of_int ((2 * !i) + 3);
+      acc := !acc +. !term;
+      incr i
+    done;
+    exp (-.t) *. !acc
+  end
+
+(* Primitive-pair quantities for unnormalised s Gaussians; the contraction
+   coefficients of Basis already carry the primitive norms. *)
+let prim_overlap a ca b cb =
+  let p = a +. b in
+  ((Float.pi /. p) ** 1.5) *. exp (-.(a *. b /. p) *. dist2 ca cb)
+
+let prim_kinetic a ca b cb =
+  let p = a +. b in
+  let mu = a *. b /. p in
+  let r2 = dist2 ca cb in
+  mu *. (3.0 -. (2.0 *. mu *. r2)) *. ((Float.pi /. p) ** 1.5) *. exp (-.mu *. r2)
+
+let prim_nuclear a ca b cb ~charge ~center =
+  let p = a +. b in
+  let mu = a *. b /. p in
+  let cp = gaussian_product_center a ca b cb in
+  -2.0 *. Float.pi /. p *. charge
+  *. exp (-.mu *. dist2 ca cb)
+  *. boys_f0 (p *. dist2 cp center)
+
+let prim_eri a ca b cb c cc d cd =
+  let p = a +. b and q = c +. d in
+  let cp = gaussian_product_center a ca b cb and cq = gaussian_product_center c cc d cd in
+  2.0 *. (Float.pi ** 2.5)
+  /. (p *. q *. sqrt (p +. q))
+  *. exp ((-.(a *. b /. p) *. dist2 ca cb) -. (c *. d /. q *. dist2 cc cd))
+  *. boys_f0 (p *. q /. (p +. q) *. dist2 cp cq)
+
+let contract2 f (sa : Basis.shell) (sb : Basis.shell) =
+  List.fold_left
+    (fun acc (pa : Basis.primitive) ->
+      List.fold_left
+        (fun acc (pb : Basis.primitive) ->
+          acc
+          +. (pa.Basis.coefficient *. pb.Basis.coefficient
+             *. f pa.Basis.exponent sa.Basis.center pb.Basis.exponent sb.Basis.center))
+        acc sb.Basis.primitives)
+    0.0 sa.Basis.primitives
+
+let overlap sa sb = contract2 prim_overlap sa sb
+
+let kinetic sa sb = contract2 prim_kinetic sa sb
+
+let nuclear sa sb (m : Molecule.t) =
+  List.fold_left
+    (fun acc (atom : Molecule.atom) ->
+      acc
+      +. contract2
+           (fun a ca b cb ->
+             prim_nuclear a ca b cb ~charge:atom.Molecule.charge ~center:atom.Molecule.position)
+           sa sb)
+    0.0 m.Molecule.atoms
+
+let eri sa sb sc sd =
+  let open Basis in
+  List.fold_left
+    (fun acc (pa : primitive) ->
+      List.fold_left
+        (fun acc (pb : primitive) ->
+          List.fold_left
+            (fun acc (pc : primitive) ->
+              List.fold_left
+                (fun acc (pd : primitive) ->
+                  acc
+                  +. (pa.coefficient *. pb.coefficient *. pc.coefficient *. pd.coefficient
+                     *. prim_eri pa.exponent sa.center pb.exponent sb.center pc.exponent
+                          sc.center pd.exponent sd.center))
+                acc sd.primitives)
+            acc sc.primitives)
+        acc sb.primitives)
+    0.0 sa.primitives
+
+let matrix_of f shells =
+  let arr = Array.of_list shells in
+  let n = Array.length arr in
+  Dt_tensor.Dense.init (Dt_tensor.Shape.of_list [ n; n ]) (fun idx -> f arr.(idx.(0)) arr.(idx.(1)))
+
+let overlap_matrix shells = matrix_of overlap shells
+
+let kinetic_matrix shells = matrix_of kinetic shells
+
+let nuclear_matrix shells m = matrix_of (fun a b -> nuclear a b m) shells
+
+let eri_tensor shells =
+  let arr = Array.of_list shells in
+  let n = Array.length arr in
+  Dt_tensor.Dense.init (Dt_tensor.Shape.of_list [ n; n; n; n ]) (fun idx ->
+      eri arr.(idx.(0)) arr.(idx.(1)) arr.(idx.(2)) arr.(idx.(3)))

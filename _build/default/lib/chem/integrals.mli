@@ -1,0 +1,25 @@
+(** Analytic one- and two-electron integrals over contracted s-type
+    Gaussians (closed forms; the Boys function handles the Coulomb
+    kernels). Everything the RHF and CCSD codes consume. *)
+
+val boys_f0 : float -> float
+(** [F0(t) = (1/2) sqrt(pi/t) erf(sqrt t)], computed by its stable series
+    for moderate arguments and the asymptotic form for large ones.
+    [F0(0) = 1]. *)
+
+val overlap : Basis.shell -> Basis.shell -> float
+val kinetic : Basis.shell -> Basis.shell -> float
+
+val nuclear : Basis.shell -> Basis.shell -> Molecule.t -> float
+(** Attraction to every nucleus of the molecule (negative). *)
+
+val eri : Basis.shell -> Basis.shell -> Basis.shell -> Basis.shell -> float
+(** Two-electron repulsion integral [(ab|cd)] in chemists' notation. *)
+
+val overlap_matrix : Basis.shell list -> Dt_tensor.Dense.t
+val kinetic_matrix : Basis.shell list -> Dt_tensor.Dense.t
+val nuclear_matrix : Basis.shell list -> Molecule.t -> Dt_tensor.Dense.t
+
+val eri_tensor : Basis.shell list -> Dt_tensor.Dense.t
+(** Rank-4 tensor [(ij|kl)], exploiting none of the 8-fold symmetry for
+    clarity (basis sizes here are tiny). *)

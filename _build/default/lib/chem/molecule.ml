@@ -1,0 +1,94 @@
+type atom = {
+  symbol : string;
+  charge : float;
+  position : float * float * float;
+}
+
+type t = {
+  name : string;
+  atoms : atom list;
+  net_charge : int;
+}
+
+let make ?(net_charge = 0) ~name atoms = { name; atoms; net_charge }
+
+let h2 ?(distance = 1.4) () =
+  make ~name:"H2"
+    [
+      { symbol = "H"; charge = 1.0; position = (0.0, 0.0, 0.0) };
+      { symbol = "H"; charge = 1.0; position = (0.0, 0.0, distance) };
+    ]
+
+let heh_plus ?(distance = 1.4632) () =
+  make ~net_charge:1 ~name:"HeH+"
+    [
+      { symbol = "He"; charge = 2.0; position = (0.0, 0.0, 0.0) };
+      { symbol = "H"; charge = 1.0; position = (0.0, 0.0, distance) };
+    ]
+
+let h_chain ?(spacing = 1.8) ~n () =
+  if n <= 0 then invalid_arg "Molecule.h_chain: n must be positive";
+  make ~name:(Printf.sprintf "H%d" n)
+    (List.init n (fun i ->
+         { symbol = "H"; charge = 1.0; position = (0.0, 0.0, float_of_int i *. spacing) }))
+
+let grid_positions n spacing =
+  (* simple placeholder layout: points on a line, far enough apart that
+     nuclear repulsion stays finite *)
+  List.init n (fun i -> (float_of_int i *. spacing, 0.0, 0.0))
+
+let of_composition ~name ~net_charge comp =
+  let atoms =
+    List.concat_map (fun (symbol, charge, count) ->
+        List.init count (fun _ -> (symbol, charge)))
+      comp
+  in
+  let positions = grid_positions (List.length atoms) 2.5 in
+  make ~net_charge ~name
+    (List.map2 (fun (symbol, charge) position -> { symbol; charge; position }) atoms positions)
+
+let uracil =
+  of_composition ~name:"uracil" ~net_charge:0
+    [ ("C", 6.0, 4); ("H", 1.0, 4); ("N", 7.0, 2); ("O", 8.0, 2) ]
+
+let silica_cluster ~units =
+  if units <= 0 then invalid_arg "Molecule.silica_cluster: units must be positive";
+  of_composition
+    ~name:(Printf.sprintf "(SiO2)%d" units)
+    ~net_charge:0
+    [ ("Si", 14.0, units); ("O", 8.0, 2 * units) ]
+
+let electrons t =
+  let nuclear =
+    List.fold_left (fun acc a -> acc + int_of_float a.charge) 0 t.atoms
+  in
+  nuclear - t.net_charge
+
+let basis_count_of_symbol = function
+  | "H" | "He" -> 1
+  | "C" | "N" | "O" -> 5
+  | "Si" -> 9
+  | s -> invalid_arg (Printf.sprintf "Molecule: unknown element %s" s)
+
+let basis_functions t =
+  List.fold_left (fun acc a -> acc + basis_count_of_symbol a.symbol) 0 t.atoms
+
+let occupied_orbitals t =
+  let e = electrons t in
+  if e mod 2 <> 0 then invalid_arg "Molecule.occupied_orbitals: open shell";
+  e / 2
+
+let nuclear_repulsion t =
+  let atoms = Array.of_list t.atoms in
+  let dist (x1, y1, z1) (x2, y2, z2) =
+    sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0) +. ((z1 -. z2) ** 2.0))
+  in
+  let acc = ref 0.0 in
+  for i = 0 to Array.length atoms - 1 do
+    for j = i + 1 to Array.length atoms - 1 do
+      acc :=
+        !acc
+        +. (atoms.(i).charge *. atoms.(j).charge /. dist atoms.(i).position atoms.(j).position)
+    done
+  done;
+  !acc

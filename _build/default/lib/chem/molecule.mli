@@ -1,0 +1,54 @@
+(** Molecules: nuclear geometry (atomic units) plus the element data the
+    minimal basis and the workload generators need.
+
+    The numeric Hartree-Fock/CCSD stack runs on the tiny systems (H2,
+    HeH+); the workload generators only need electron and basis-function
+    counts, so the larger systems (the SiOSi silica cluster driving the
+    paper's HF trace, uracil driving the CCSD trace) are described by
+    composition. *)
+
+type atom = {
+  symbol : string;
+  charge : float;      (** nuclear charge Z *)
+  position : float * float * float;  (** bohr *)
+}
+
+type t = {
+  name : string;
+  atoms : atom list;
+  net_charge : int;
+}
+
+val make : ?net_charge:int -> name:string -> atom list -> t
+
+val h2 : ?distance:float -> unit -> t
+(** Ground-state geometry default: 1.4 bohr. *)
+
+val heh_plus : ?distance:float -> unit -> t
+(** HeH+ at the near-equilibrium 1.4632 bohr by default. *)
+
+val h_chain : ?spacing:float -> n:int -> unit -> t
+(** A linear chain of [n] hydrogen atoms (default spacing 1.8 bohr), the
+    standard multi-centre test system; use an even [n] for closed-shell
+    calculations. Raises [Invalid_argument] when [n <= 0]. *)
+
+val uracil : t
+(** C4H4N2O2 (composition only; positions are a flat placeholder). *)
+
+val silica_cluster : units:int -> t
+(** [(SiO2)_units] ring, the "SiOSi" input family of the paper's HF runs.
+    Raises [Invalid_argument] when [units <= 0]. *)
+
+val electrons : t -> int
+(** Total electrons, accounting for the net charge. *)
+
+val basis_functions : t -> int
+(** STO-3G-style count: 1 function for H/He, 5 for first-row heavy atoms
+    (C/N/O), 9 for Si. *)
+
+val occupied_orbitals : t -> int
+(** [electrons / 2] (closed-shell). Raises [Invalid_argument] on an odd
+    electron count. *)
+
+val nuclear_repulsion : t -> float
+(** Sum over pairs of [Z_i Z_j / r_ij]. *)

@@ -1,0 +1,97 @@
+open Dt_tensor
+
+type result = {
+  energy : float;
+  electronic_energy : float;
+  nuclear_repulsion : float;
+  orbital_energies : float array;
+  mo_coefficients : Dense.t;
+  density : Dense.t;
+  iterations : int;
+  converged : bool;
+}
+
+(* G(D)_{mu nu} = sum_{la si} D_{la si} [ (mu nu|la si) - 1/2 (mu la|nu si) ]
+   with the density convention D = 2 C_occ C_occ^T. *)
+let fock_matrix hcore eri density n =
+  Dense.init (Shape.of_list [ n; n ]) (fun idx ->
+      let mu = idx.(0) and nu = idx.(1) in
+      let acc = ref (Dense.get hcore [| mu; nu |]) in
+      for la = 0 to n - 1 do
+        for si = 0 to n - 1 do
+          let d = Dense.get density [| la; si |] in
+          if d <> 0.0 then
+            acc :=
+              !acc
+              +. (d
+                 *. (Dense.get eri [| mu; nu; la; si |]
+                    -. (0.5 *. Dense.get eri [| mu; la; nu; si |])))
+        done
+      done;
+      !acc)
+
+let density_matrix mo_coefficients ~n ~nocc =
+  Dense.init (Shape.of_list [ n; n ]) (fun idx ->
+      let mu = idx.(0) and nu = idx.(1) in
+      let acc = ref 0.0 in
+      for i = 0 to nocc - 1 do
+        acc := !acc +. (Dense.get mo_coefficients [| mu; i |] *. Dense.get mo_coefficients [| nu; i |])
+      done;
+      2.0 *. !acc)
+
+let electronic_energy density hcore fock n =
+  let acc = ref 0.0 in
+  for mu = 0 to n - 1 do
+    for nu = 0 to n - 1 do
+      acc :=
+        !acc
+        +. (0.5 *. Dense.get density [| mu; nu |]
+           *. (Dense.get hcore [| mu; nu |] +. Dense.get fock [| mu; nu |]))
+    done
+  done;
+  !acc
+
+let run ?(max_iterations = 200) ?(energy_tolerance = 1e-10) ?(density_tolerance = 1e-8)
+    molecule =
+  let shells = Basis.of_molecule molecule in
+  let n = Basis.size shells in
+  let nocc = Molecule.occupied_orbitals molecule in
+  let s = Integrals.overlap_matrix shells in
+  let hcore =
+    Dense.add (Integrals.kinetic_matrix shells) (Integrals.nuclear_matrix shells molecule)
+  in
+  let eri = Integrals.eri_tensor shells in
+  let x = Linalg.inverse_sqrt s in
+  let nuclear_repulsion = Molecule.nuclear_repulsion molecule in
+  let diagonalize fock =
+    (* F' = X F X; C = X C' *)
+    let f' = Ops.matmul (Ops.matmul x fock) x in
+    (* enforce exact symmetry against rounding *)
+    let f' = Dense.init (Dense.shape f') (fun idx ->
+        0.5 *. (Dense.get f' [| idx.(0); idx.(1) |] +. Dense.get f' [| idx.(1); idx.(0) |]))
+    in
+    let eps, c' = Linalg.eigh f' in
+    (eps, Ops.matmul x c')
+  in
+  let rec iterate d e_old iter =
+    let fock = fock_matrix hcore eri d n in
+    let e_elec = electronic_energy d hcore fock n in
+    let eps, c = diagonalize fock in
+    let d_new = density_matrix c ~n ~nocc in
+    let de = Float.abs (e_elec -. e_old) and dd = Dense.max_abs_diff d_new d in
+    if (de < energy_tolerance && dd < density_tolerance) || iter >= max_iterations then begin
+      let converged = de < energy_tolerance && dd < density_tolerance in
+      {
+        energy = e_elec +. nuclear_repulsion;
+        electronic_energy = e_elec;
+        nuclear_repulsion;
+        orbital_energies = eps;
+        mo_coefficients = c;
+        density = d_new;
+        iterations = iter;
+        converged;
+      }
+    end
+    else iterate d_new e_elec (iter + 1)
+  in
+  iterate (Dense.create (Shape.of_list [ n; n ]) 0.0) Float.infinity 1

@@ -1,0 +1,25 @@
+(** Restricted Hartree-Fock self-consistent field: the first of the two
+    molecular chemistry kernels of the paper, here executed numerically
+    on small systems (the tiled, distributed version of the same
+    computation is what {!Workload} turns into task traces). *)
+
+type result = {
+  energy : float;            (** total energy (electronic + nuclear), hartree *)
+  electronic_energy : float;
+  nuclear_repulsion : float;
+  orbital_energies : float array;  (** ascending *)
+  mo_coefficients : Dt_tensor.Dense.t;  (** columns = molecular orbitals *)
+  density : Dt_tensor.Dense.t;
+  iterations : int;
+  converged : bool;
+}
+
+val run :
+  ?max_iterations:int ->
+  ?energy_tolerance:float ->
+  ?density_tolerance:float ->
+  Molecule.t ->
+  result
+(** Closed-shell SCF with a core-Hamiltonian guess and symmetric
+    (Loewdin) orthogonalisation. Raises [Invalid_argument] for open-shell
+    molecules or elements without numeric basis parameters. *)

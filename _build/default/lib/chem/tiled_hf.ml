@@ -1,0 +1,134 @@
+open Dt_tensor
+
+type task_stats = {
+  bra : Tile.range * Tile.range;
+  ket : Tile.range * Tile.range;
+  density_bytes : int;
+  flops : float;
+}
+
+let g_matrix_reference shells ~density =
+  let arr = Array.of_list shells in
+  let n = Array.length arr in
+  let eri = Integrals.eri_tensor shells in
+  Dense.init (Shape.of_list [ n; n ]) (fun idx ->
+      let mu = idx.(0) and nu = idx.(1) in
+      let acc = ref 0.0 in
+      for la = 0 to n - 1 do
+        for si = 0 to n - 1 do
+          let d = Dense.get density [| la; si |] in
+          if d <> 0.0 then
+            acc :=
+              !acc
+              +. (d
+                 *. (Dense.get eri [| mu; nu; la; si |]
+                    -. (0.5 *. Dense.get eri [| mu; la; nu; si |])))
+        done
+      done;
+      !acc)
+
+let g_matrix_tiled shells ~density ~tile =
+  if tile < 1 then invalid_arg "Tiled_hf.g_matrix_tiled: tile must be >= 1";
+  let arr = Array.of_list shells in
+  let n = Array.length arr in
+  let tiles = Tile.uniform ~dim:n ~tile in
+  let g = Dense.create (Shape.of_list [ n; n ]) 0.0 in
+  let stats = ref [] in
+  (* One task per (bra tile pair, ket tile pair): fetch the density tile
+     D(ket), digest the integrals (mu nu|la si) and the exchange pattern
+     (mu la|nu si) for mu nu in bra, la si in ket, accumulate into the
+     Fock tile F(bra). *)
+  List.iter
+    (fun tmu ->
+      List.iter
+        (fun tnu ->
+          List.iter
+            (fun tla ->
+              List.iter
+                (fun tsi ->
+                  let d_tile = Tile.extract density [| tla; tsi |] in
+                  let flops = ref 0.0 in
+                  for mu = tmu.Tile.offset to tmu.Tile.offset + tmu.Tile.length - 1 do
+                    for nu = tnu.Tile.offset to tnu.Tile.offset + tnu.Tile.length - 1 do
+                      let acc = ref (Dense.get g [| mu; nu |]) in
+                      for la = tla.Tile.offset to tla.Tile.offset + tla.Tile.length - 1 do
+                        for si = tsi.Tile.offset to tsi.Tile.offset + tsi.Tile.length - 1 do
+                          let d =
+                            Dense.get d_tile
+                              [| la - tla.Tile.offset; si - tsi.Tile.offset |]
+                          in
+                          if d <> 0.0 then begin
+                            let coulomb = Integrals.eri arr.(mu) arr.(nu) arr.(la) arr.(si) in
+                            let exchange = Integrals.eri arr.(mu) arr.(la) arr.(nu) arr.(si) in
+                            acc := !acc +. (d *. (coulomb -. (0.5 *. exchange)));
+                            flops := !flops +. 4.0
+                          end
+                        done
+                      done;
+                      Dense.set g [| mu; nu |] !acc
+                    done
+                  done;
+                  stats :=
+                    {
+                      bra = (tmu, tnu);
+                      ket = (tla, tsi);
+                      density_bytes = Tile.tile_bytes [| tla; tsi |];
+                      flops = !flops;
+                    }
+                    :: !stats)
+                tiles)
+            tiles)
+        tiles)
+    tiles;
+  (g, List.rev !stats)
+
+let scf_energy_tiled ?(max_iterations = 100) ~tile molecule =
+  let shells = Basis.of_molecule molecule in
+  let n = Basis.size shells in
+  let nocc = Molecule.occupied_orbitals molecule in
+  let s = Integrals.overlap_matrix shells in
+  let hcore =
+    Dense.add (Integrals.kinetic_matrix shells) (Integrals.nuclear_matrix shells molecule)
+  in
+  let x = Linalg.inverse_sqrt s in
+  let nuclear = Molecule.nuclear_repulsion molecule in
+  let density = ref (Dense.create (Shape.of_list [ n; n ]) 0.0) in
+  let energy = ref Float.infinity in
+  let finished = ref false in
+  let iter = ref 0 in
+  while (not !finished) && !iter < max_iterations do
+    incr iter;
+    let g, _ = g_matrix_tiled shells ~density:!density ~tile in
+    let fock = Dense.add hcore g in
+    let e_elec =
+      let acc = ref 0.0 in
+      for mu = 0 to n - 1 do
+        for nu = 0 to n - 1 do
+          acc :=
+            !acc
+            +. (0.5 *. Dense.get !density [| mu; nu |]
+               *. (Dense.get hcore [| mu; nu |] +. Dense.get fock [| mu; nu |]))
+        done
+      done;
+      !acc
+    in
+    let f' = Ops.matmul (Ops.matmul x fock) x in
+    let f' =
+      Dense.init (Dense.shape f') (fun idx ->
+          0.5 *. (Dense.get f' [| idx.(0); idx.(1) |] +. Dense.get f' [| idx.(1); idx.(0) |]))
+    in
+    let _, c' = Linalg.eigh f' in
+    let c = Ops.matmul x c' in
+    let d_new =
+      Dense.init (Shape.of_list [ n; n ]) (fun idx ->
+          let acc = ref 0.0 in
+          for i = 0 to nocc - 1 do
+            acc := !acc +. (Dense.get c [| idx.(0); i |] *. Dense.get c [| idx.(1); i |])
+          done;
+          2.0 *. !acc)
+    in
+    if Float.abs (e_elec -. !energy) < 1e-10 then finished := true;
+    energy := e_elec;
+    density := d_new
+  done;
+  !energy +. nuclear

@@ -1,0 +1,251 @@
+open Dt_ga
+
+(* Deterministic per-item hash used to decide screening and tile draws
+   consistently across processes. *)
+let item_rng seed index =
+  let r = Dt_stats.Rng.create (seed * 1_000_003) in
+  let r = Dt_stats.Rng.split r in
+  ignore (Dt_stats.Rng.bits64 r);
+  let r2 = Dt_stats.Rng.create ((seed * 97) lxor (index * 2_654_435_761)) in
+  ignore (Dt_stats.Rng.bits64 r2);
+  r2
+
+(* ------------------------------------------------------------------ *)
+(* Hartree-Fock                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let aux_block_bytes = 16_384. (* screening/index data shipped with each quartet *)
+
+let hf_quartet_task ~cluster ~garray ~seed ~proc ~index ~id (p1_row, p1_col) (p2_row, p2_col)
+    nt =
+  let rng = item_rng seed index in
+  let tile_id row col = (row * nt) + col in
+  (* The quartet digests density tile D(p2) in full and, depending on the
+     integrals that survive screening, a strip of D(p1): memory
+     requirements spread between a fraction of one tile and two full
+     tiles (the paper's m_c = 176 KB for full 100x100 tiles). *)
+  let strip = 0.2 +. Dt_stats.Rng.float rng 0.8 in
+  let bytes =
+    Garray.fetch_bytes garray ~proc [ tile_id p2_row p2_col ]
+    +. (strip *. Garray.fetch_bytes garray ~proc [ tile_id p1_row p1_col ])
+    +. aux_block_bytes
+  in
+  let comm = Cluster.comm_time cluster ~bytes in
+  let dims i = Dt_tensor.Tile.tile_size (Garray.tile garray i) in
+  let pair_elems = dims (tile_id p1_row p1_col) in
+  (* Screened digestion is proportional to the output tile; unscreened
+     quartets additionally pay a tile-size-independent integral
+     evaluation cost, so small (edge-tile) tasks are the
+     compute-intensive ones. *)
+  let digestion = float_of_int pair_elems *. (10.0 +. Dt_stats.Rng.float rng 8.0) in
+  let unscreened = Dt_stats.Rng.float rng 1.0 < 0.15 in
+  let integral_flops =
+    if unscreened then 2.0e5 +. Dt_stats.Rng.float rng 2.5e5 else 0.0
+  in
+  let comp = Cluster.comp_time cluster ~flops:(digestion +. integral_flops) in
+  Dt_core.Task.make
+    ~label:(Printf.sprintf "hf-q%d" index)
+    ~mem:bytes ~id ~comm ~comp ()
+
+let hf_garray ~cluster ~nbf ~tile =
+  let tiling = Dt_tensor.Tile.uniform ~dim:nbf ~tile in
+  Garray.create ~nprocs:(Cluster.processes cluster) ~tilings:[| tiling; tiling |] ()
+
+let hf_iter ?(tile = 100) ?(seed = 7) ~cluster ~nbf f =
+  if nbf < tile then invalid_arg "Workload.hf: nbf must be at least one tile";
+  let garray = hf_garray ~cluster ~nbf ~tile in
+  let nprocs = Cluster.processes cluster in
+  let nt = List.length (Dt_tensor.Tile.uniform ~dim:nbf ~tile) in
+  (* symmetry-unique pairs (row <= col), then unique pairs of pairs *)
+  let pairs = ref [] in
+  for row = nt - 1 downto 0 do
+    for col = nt - 1 downto row do
+      pairs := (row, col) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  let npairs = Array.length pairs in
+  let index = ref 0 in
+  for a = 0 to npairs - 1 do
+    for b = a to npairs - 1 do
+      let proc = !index mod nprocs in
+      f ~garray ~nt ~proc ~index:!index pairs.(a) pairs.(b) ~seed;
+      incr index
+    done
+  done
+
+let hf_tasks ?tile ?seed ~cluster ~nbf ~proc () =
+  let acc = ref [] and next_id = ref 0 in
+  hf_iter ?tile ?seed ~cluster ~nbf (fun ~garray ~nt ~proc:owner ~index p1 p2 ~seed ->
+      if owner = proc then begin
+        acc :=
+          hf_quartet_task ~cluster ~garray ~seed ~proc ~index ~id:!next_id p1 p2 nt :: !acc;
+        incr next_id
+      end);
+  List.rev !acc
+
+let hf_trace_set ?tile ?seed ~cluster ~nbf () =
+  let nprocs = Cluster.processes cluster in
+  let acc = Array.make nprocs [] and ids = Array.make nprocs 0 in
+  hf_iter ?tile ?seed ~cluster ~nbf (fun ~garray ~nt ~proc ~index p1 p2 ~seed ->
+      let task =
+        hf_quartet_task ~cluster ~garray ~seed ~proc ~index ~id:ids.(proc) p1 p2 nt
+      in
+      ids.(proc) <- ids.(proc) + 1;
+      acc.(proc) <- task :: acc.(proc));
+  Array.map List.rev acc
+
+(* ------------------------------------------------------------------ *)
+(* CCSD                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The automatic (TCE-style) tilings: a handful of uneven tiles per
+   dimension, drawn once from the seed so every process sees the same
+   global arrays. *)
+let het_tiling rng ~dim ~target_tiles =
+  let cuts = max 1 target_tiles in
+  let weights = Array.init cuts (fun _ -> 0.75 +. Dt_stats.Rng.float rng 0.75) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let lengths =
+    Array.to_list
+      (Array.map (fun w -> max 1 (int_of_float (Float.round (w /. total *. float_of_int dim)))) weights)
+  in
+  (* fix rounding drift on the last tile *)
+  let s = List.fold_left ( + ) 0 lengths in
+  let lengths =
+    match List.rev lengths with
+    | last :: rest when last + (dim - s) >= 1 -> List.rev ((last + (dim - s)) :: rest)
+    | _ -> lengths
+  in
+  Dt_tensor.Tile.of_lengths lengths
+
+type ccsd_arrays = {
+  t2 : Garray.t;     (* (o, o, v, v) amplitudes *)
+  v_oovv : Garray.t; (* <oo||vv> integrals *)
+  v_ovvv : Garray.t; (* <ov||vv> integrals *)
+  v_vvvv : Garray.t; (* <vv||vv> integrals *)
+  v_ooov : Garray.t; (* <oo||ov> integrals *)
+}
+
+let ccsd_arrays ~cluster ~seed ~n_occ ~n_virt =
+  let rng = Dt_stats.Rng.create (seed lxor 0x5eed) in
+  let nprocs = Cluster.processes cluster in
+  let ot () = het_tiling rng ~dim:n_occ ~target_tiles:4 in
+  let vt () = het_tiling rng ~dim:n_virt ~target_tiles:4 in
+  let o1 = ot () and o2 = ot () and v1 = vt () and v2 = vt () in
+  let mk tilings = Garray.create ~nprocs ~tilings () in
+  {
+    t2 = mk [| o1; o2; v1; v2 |];
+    v_oovv = mk [| o1; o2; v1; v2 |];
+    v_ovvv = mk [| o1; v1; v2; v2 |];
+    v_vvvv = mk [| v1; v2; v1; v2 |];
+    v_ooov = mk [| o1; o2; o1; v1 |];
+  }
+
+(* One CCSD task: an amplitude-update term instantiated on random tiles.
+   Communication = remote input blocks; computation = 2 * |output| * |k|
+   for contractions, |block| for transposes. *)
+let ccsd_task ~cluster ~arrays ~rng ~proc ~id =
+  let pick_tile g = Dt_stats.Rng.int rng (Garray.ntiles g) in
+  let tile_elems g i = Dt_tensor.Tile.tile_size (Garray.tile g i) in
+  let fetch g i = Garray.fetch_bytes g ~proc [ i ] in
+  let kind = Dt_stats.Rng.float rng 1.0 in
+  let label, bytes, flops =
+    if kind < 0.52 then begin
+      (* tensor transpose / reorder of a T2 or V block: pure data movement,
+         the communication-intensive half of the stream *)
+      let g =
+        match Dt_stats.Rng.int rng 3 with
+        | 0 -> arrays.t2
+        | 1 -> arrays.v_oovv
+        | _ -> arrays.v_ovvv
+      in
+      let i = pick_tile g in
+      let elems = float_of_int (tile_elems g i) in
+      ("ccsd-tr", fetch g i, elems *. (2.0 +. Dt_stats.Rng.float rng 2.0))
+    end
+    else if kind < 0.62 then begin
+      (* Wmnij-type: <oo||ov> x t1 / small o-space contractions *)
+      let g = arrays.v_ooov in
+      let i = pick_tile g in
+      let elems = float_of_int (tile_elems g i) in
+      let k = 400.0 +. Dt_stats.Rng.float rng 1200.0 in
+      ("ccsd-oo", fetch g i +. 65_536.0, 2.0 *. elems *. k)
+    end
+    else if kind < 0.82 then begin
+      (* Wmbej-type: t2 x v_oovv, contracted over an (o, v) tile pair *)
+      let i = pick_tile arrays.t2 and j = pick_tile arrays.v_oovv in
+      let out = float_of_int (tile_elems arrays.t2 i) in
+      let dims = Garray.tile arrays.v_oovv j in
+      let k = float_of_int (dims.(0).Dt_tensor.Tile.length * dims.(2).Dt_tensor.Tile.length) in
+      ( "ccsd-ov",
+        fetch arrays.t2 i +. fetch arrays.v_oovv j,
+        2.0 *. out *. k *. (0.06 +. Dt_stats.Rng.float rng 0.075) )
+    end
+    else if kind < 0.965 then begin
+      (* ring/ladder terms against <ov||vv> *)
+      let i = pick_tile arrays.t2 and j = pick_tile arrays.v_ovvv in
+      let out = float_of_int (tile_elems arrays.t2 i) in
+      let dims = Garray.tile arrays.v_ovvv j in
+      let k = float_of_int dims.(1).Dt_tensor.Tile.length in
+      ( "ccsd-sv",
+        fetch arrays.t2 i +. fetch arrays.v_ovvv j,
+        2.0 *. out *. k *. (1.8 +. Dt_stats.Rng.float rng 1.8) )
+    end
+    else begin
+      (* particle ladder: tau x <vv||vv>, the gigabyte-scale blocks. Most
+         sweep the integral tile once (communication dominates); a few
+         fuse several permutations of the term and are compute
+         intensive. *)
+      let i = pick_tile arrays.t2 and j = pick_tile arrays.v_vvvv in
+      let out = float_of_int (tile_elems arrays.t2 i) in
+      let dims = Garray.tile arrays.v_vvvv j in
+      let k = float_of_int (dims.(0).Dt_tensor.Tile.length * dims.(1).Dt_tensor.Tile.length) in
+      let factor =
+        if Dt_stats.Rng.float rng 1.0 < 0.8 then 0.08 +. Dt_stats.Rng.float rng 0.10
+        else 0.30 +. Dt_stats.Rng.float rng 0.30
+      in
+      ("ccsd-vv", fetch arrays.t2 i +. fetch arrays.v_vvvv j, 2.0 *. out *. k *. factor)
+    end
+  in
+  let comm = Cluster.comm_time cluster ~bytes in
+  let comp = Cluster.comp_time cluster ~flops in
+  Dt_core.Task.make ~label:(Printf.sprintf "%s%d" label id) ~mem:bytes ~id ~comm ~comp ()
+
+(* The dominant symmetry block: every trace contains a couple of
+   "monster" contractions touching the largest four-virtual-index tile
+   (memory requirement = the trace's m_c) with a computation of the same
+   magnitude. Their placement is what separates schedulers that exploit
+   static knowledge from purely greedy ones. *)
+let ccsd_monster ~cluster ~arrays ~rng ~proc ~id =
+  let largest g =
+    let best = ref 0 in
+    for i = 0 to Garray.ntiles g - 1 do
+      if Garray.tile_bytes g i > Garray.tile_bytes g !best then best := i
+    done;
+    !best
+  in
+  let j = largest arrays.v_vvvv and i = largest arrays.t2 in
+  let bytes =
+    float_of_int (Garray.tile_bytes arrays.v_vvvv j)
+    +. Garray.fetch_bytes arrays.t2 ~proc [ i ]
+  in
+  let comm = Cluster.comm_time cluster ~bytes in
+  let comp = comm *. (1.4 +. Dt_stats.Rng.float rng 1.0) in
+  Dt_core.Task.make
+    ~label:(Printf.sprintf "ccsd-mn%d" id)
+    ~mem:bytes ~id ~comm ~comp ()
+
+let ccsd_tasks ?(seed = 11) ~cluster ~n_occ ~n_virt ~proc () =
+  if n_occ < 4 || n_virt < 8 then invalid_arg "Workload.ccsd: dimensions too small";
+  let arrays = ccsd_arrays ~cluster ~seed ~n_occ ~n_virt in
+  let rng = item_rng seed (proc + 1) in
+  let count = 300 + Dt_stats.Rng.int rng 501 in
+  let slot1 = Dt_stats.Rng.int rng count and slot2 = Dt_stats.Rng.int rng count in
+  List.init count (fun id ->
+      if id = slot1 || id = slot2 then ccsd_monster ~cluster ~arrays ~rng ~proc ~id
+      else ccsd_task ~cluster ~arrays ~rng ~proc ~id)
+
+let ccsd_trace_set ?seed ~cluster ~n_occ ~n_virt () =
+  Array.init (Cluster.processes cluster) (fun proc ->
+      ccsd_tasks ?seed ~cluster ~n_occ ~n_virt ~proc ())

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Array Corrected_rules Dt_stats Dynamic_rules Heuristic Instance Johnson List Printf Schedule Static_rules Task

@@ -1,0 +1,1 @@
+lib/core/auto.ml: Batched Float Heuristic Instance List Option Schedule Sim Task

@@ -1,0 +1,1 @@
+lib/core/batched.ml: Float Heuristic Instance List Schedule Sim Task

@@ -1,0 +1,1 @@
+lib/core/batched.mli: Heuristic Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/bin_packing.ml: Float Instance List Printf Sim Task

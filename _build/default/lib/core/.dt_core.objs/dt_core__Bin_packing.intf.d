@@ -1,0 +1,1 @@
+lib/core/bin_packing.mli: Instance Schedule Sim Task

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Float Instance Johnson List Task

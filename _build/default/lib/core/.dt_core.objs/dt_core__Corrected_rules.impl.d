@@ -1,0 +1,1 @@
+lib/core/corrected_rules.ml: Dynamic_rules Instance Johnson List Printf Schedule Sim Task

@@ -1,0 +1,1 @@
+lib/core/corrected_rules.mli: Dynamic_rules Instance Schedule Sim Task

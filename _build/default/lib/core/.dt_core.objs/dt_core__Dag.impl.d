@@ -1,0 +1,1 @@
+lib/core/dag.ml: Array Corrected_rules Dt_stats Float Fun Hashtbl Heuristic Instance Int List Printf Schedule Sim Task

@@ -1,0 +1,1 @@
+lib/core/dag.mli: Dt_stats Heuristic Schedule Task

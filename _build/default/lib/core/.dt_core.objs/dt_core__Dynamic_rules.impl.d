@@ -1,0 +1,1 @@
+lib/core/dynamic_rules.ml: Float Instance List Printf Schedule Sim Task

@@ -1,0 +1,1 @@
+lib/core/dynamic_rules.mli: Instance Schedule Sim Task

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Float Instance List Schedule Sim Task

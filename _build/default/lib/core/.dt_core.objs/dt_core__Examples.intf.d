@@ -1,0 +1,1 @@
+lib/core/examples.mli: Instance

@@ -1,0 +1,1 @@
+lib/core/flowshop3.mli:

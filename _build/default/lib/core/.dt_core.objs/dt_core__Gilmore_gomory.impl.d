@@ -1,0 +1,1 @@
+lib/core/gilmore_gomory.ml: Array Float Instance Int List Sim Task

@@ -1,0 +1,1 @@
+lib/core/gilmore_gomory.mli: Instance Schedule Sim Task

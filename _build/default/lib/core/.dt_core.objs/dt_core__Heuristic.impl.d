@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Bin_packing Corrected_rules Dynamic_rules Gilmore_gomory List Lp_schedule Option Printf Sim Static_rules String

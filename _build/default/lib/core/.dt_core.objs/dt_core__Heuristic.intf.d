@@ -1,0 +1,1 @@
+lib/core/heuristic.mli: Corrected_rules Dynamic_rules Instance Schedule Sim Static_rules

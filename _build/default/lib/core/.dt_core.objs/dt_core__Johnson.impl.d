@@ -1,0 +1,1 @@
+lib/core/johnson.ml: Float List Schedule Sim Task

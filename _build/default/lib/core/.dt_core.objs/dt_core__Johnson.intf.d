@@ -1,0 +1,1 @@
+lib/core/johnson.mli: Schedule Task

@@ -1,0 +1,1 @@
+lib/core/lp_schedule.ml: Array Dt_lp Float Instance List Schedule Sim Task

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Instance List Printf Schedule Task

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Float Format Int List Printf Task

@@ -1,0 +1,1 @@
+lib/core/sim.ml: Float Hashtbl List Printf Queue Schedule Task

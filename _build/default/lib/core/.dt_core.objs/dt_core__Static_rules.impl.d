@@ -1,0 +1,1 @@
+lib/core/static_rules.ml: Float Instance Johnson List Sim Task

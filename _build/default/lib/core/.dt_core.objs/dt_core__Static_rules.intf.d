@@ -1,0 +1,1 @@
+lib/core/static_rules.mli: Instance Schedule Sim Task

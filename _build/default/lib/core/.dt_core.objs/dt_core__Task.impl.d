@@ -1,0 +1,1 @@
+lib/core/task.ml: Float Format Int Printf String

@@ -1,0 +1,88 @@
+type regime =
+  | Unconstrained
+  | Moderate
+  | Limited
+
+type mix =
+  | Mostly_compute
+  | Mostly_communication
+  | Balanced
+
+type diagnosis = {
+  regime : regime;
+  mix : mix;
+  small_comm_compute_intensive : bool;
+  omim_peak_memory : float;
+  recommendation : Heuristic.t;
+}
+
+let moderate_threshold = 0.5
+
+let median_comm tasks =
+  match tasks with
+  | [] -> 0.0
+  | _ ->
+      Dt_stats.Descriptive.median
+        (Array.of_list (List.map (fun (t : Task.t) -> t.Task.comm) tasks))
+
+let diagnose instance =
+  if Instance.size instance = 0 then invalid_arg "Advisor.diagnose: empty instance";
+  let tasks = Instance.task_list instance in
+  let peak = Schedule.peak_memory (Johnson.omim_schedule tasks) in
+  let c = instance.Instance.capacity in
+  let regime =
+    if c >= peak -. 1e-9 then Unconstrained
+    else if c >= moderate_threshold *. peak then Moderate
+    else Limited
+  in
+  let compute, communication = List.partition Task.is_compute_intensive tasks in
+  let sum_comp = Instance.sum_comp instance and sum_comm = Instance.sum_comm instance in
+  let mix =
+    if sum_comp > 1.25 *. sum_comm then Mostly_compute
+    else if sum_comm > 1.25 *. sum_comp then Mostly_communication
+    else Balanced
+  in
+  let small_comm_compute_intensive =
+    compute <> [] && communication <> []
+    && median_comm compute < median_comm communication
+  in
+  let recommendation =
+    match (regime, mix) with
+    (* Table 6, rows 1-3: no memory restriction *)
+    | Unconstrained, Balanced -> Heuristic.Static Static_rules.OOSIM
+    | Unconstrained, Mostly_compute -> Heuristic.Static Static_rules.IOCMS
+    | Unconstrained, Mostly_communication -> Heuristic.Static Static_rules.DOCPS
+    (* rows 9-11: moderate capacity favours the corrected orders *)
+    | Moderate, Mostly_communication -> Heuristic.Corrected Corrected_rules.OOLCMR
+    | Moderate, Mostly_compute -> Heuristic.Corrected Corrected_rules.OOSCMR
+    | Moderate, Balanced -> Heuristic.Corrected Corrected_rules.OOMAMR
+    (* rows 6-8: limited capacity favours dynamic selection, keyed on
+       where the compute-intensive work sits *)
+    | Limited, Balanced -> Heuristic.Dynamic Dynamic_rules.MAMR
+    | Limited, (Mostly_compute | Mostly_communication) ->
+        if small_comm_compute_intensive then Heuristic.Dynamic Dynamic_rules.SCMR
+        else Heuristic.Dynamic Dynamic_rules.LCMR
+  in
+  { regime; mix; small_comm_compute_intensive; omim_peak_memory = peak; recommendation }
+
+let recommend instance = (diagnose instance).recommendation
+
+let regime_name = function
+  | Unconstrained -> "unconstrained (capacity covers the OMIM schedule's peak)"
+  | Moderate -> "moderate (capacity within half of the OMIM peak)"
+  | Limited -> "limited"
+
+let mix_name = function
+  | Mostly_compute -> "mostly compute-intensive"
+  | Mostly_communication -> "mostly communication-intensive"
+  | Balanced -> "balanced"
+
+let explain d =
+  Printf.sprintf
+    "memory regime is %s (OMIM peak %g); the task mix is %s%s. Table 6 of the paper \
+     recommends %s."
+    (regime_name d.regime) d.omim_peak_memory (mix_name d.mix)
+    (if d.small_comm_compute_intensive then
+       ", with the compute-intensive work on the smaller transfers"
+     else "")
+    (Heuristic.name d.recommendation)

@@ -1,0 +1,36 @@
+(** Table 6 of the paper as executable advice: inspect an instance's
+    memory regime and task mix and recommend a heuristic, so a runtime
+    can pick a strategy without trying the whole portfolio (the cheap
+    complement to {!Auto}). *)
+
+type regime =
+  | Unconstrained  (** capacity at least the OMIM schedule's peak memory *)
+  | Moderate       (** capacity within [moderate_threshold] of that peak *)
+  | Limited
+
+type mix =
+  | Mostly_compute        (** most work is compute-intensive *)
+  | Mostly_communication
+  | Balanced
+
+type diagnosis = {
+  regime : regime;
+  mix : mix;
+  small_comm_compute_intensive : bool;
+      (** do the compute-intensive tasks have smaller transfers than the
+          communication-intensive ones? (drives SCMR vs LCMR) *)
+  omim_peak_memory : float;
+  recommendation : Heuristic.t;
+}
+
+val moderate_threshold : float
+(** Fraction of the OMIM peak above which the regime counts as moderate
+    (0.5). *)
+
+val diagnose : Instance.t -> diagnosis
+(** Raises [Invalid_argument] on an empty instance. *)
+
+val recommend : Instance.t -> Heuristic.t
+
+val explain : diagnosis -> string
+(** One-paragraph human-readable justification. *)

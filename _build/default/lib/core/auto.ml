@@ -1,0 +1,47 @@
+let default_portfolio = Heuristic.all
+
+let best_on ?state ~candidates instance =
+  match candidates with
+  | [] -> invalid_arg "Auto: empty candidate list"
+  | _ ->
+      let scored =
+        List.map
+          (fun h ->
+            let st = Option.map Sim.copy_state state in
+            (h, Heuristic.run ?state:st h instance))
+          candidates
+      in
+      let better (_, s1) (_, s2) =
+        Float.compare (Schedule.makespan s1) (Schedule.makespan s2) < 0
+      in
+      List.fold_left (fun acc c -> if better c acc then c else acc) (List.hd scored)
+        (List.tl scored)
+
+let select ?(candidates = default_portfolio) instance = best_on ~candidates instance
+
+let run ?candidates instance = snd (select ?candidates instance)
+
+let run_batched ?(candidates = default_portfolio) ~batch instance =
+  let capacity = instance.Instance.capacity in
+  let winners = ref [] and entries = ref [] in
+  let state_of_entries es =
+    let link_free = List.fold_left (fun acc e -> Float.max acc (Schedule.comm_end e)) 0.0 es
+    and cpu_free = List.fold_left (fun acc e -> Float.max acc (Schedule.comp_end e)) 0.0 es in
+    let held =
+      List.filter_map
+        (fun e ->
+          let ce = Schedule.comp_end e in
+          if ce > link_free then Some (ce, e.Schedule.task.Task.mem) else None)
+        es
+    in
+    Sim.restore_state ~link_free ~cpu_free ~held
+  in
+  List.iter
+    (fun tasks ->
+      let sub = Instance.make_keep_ids ~capacity tasks in
+      let state = state_of_entries !entries in
+      let h, sched = best_on ~state ~candidates sub in
+      winners := h :: !winners;
+      entries := !entries @ Schedule.entries sched)
+    (Batched.slices ~batch (Instance.task_list instance));
+  (List.rev !winners, Schedule.make ~capacity !entries)

@@ -1,0 +1,42 @@
+let slices ~batch l =
+  if batch < 1 then invalid_arg "Batched.slices: batch must be >= 1";
+  let rec take n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (n - 1) (x :: acc) rest
+  in
+  let rec loop = function
+    | [] -> []
+    | l ->
+        let s, rest = take batch [] l in
+        s :: loop rest
+  in
+  loop l
+
+let run ?lp_node_limit ~batch heuristic instance =
+  let capacity = instance.Instance.capacity in
+  let entries = ref [] in
+  (* The executor state after a set of entries is fully determined by the
+     entries themselves; rebuilding it per batch keeps every engine —
+     including lp.k, which works on boundaries rather than states — on the
+     same footing. *)
+  let state_of_entries es =
+    let link_free = List.fold_left (fun acc e -> Float.max acc (Schedule.comm_end e)) 0.0 es
+    and cpu_free = List.fold_left (fun acc e -> Float.max acc (Schedule.comp_end e)) 0.0 es in
+    let held =
+      List.filter_map
+        (fun e ->
+          let ce = Schedule.comp_end e in
+          if ce > link_free then Some (ce, e.Schedule.task.Task.mem) else None)
+        es
+    in
+    Sim.restore_state ~link_free ~cpu_free ~held
+  in
+  List.iter
+    (fun tasks ->
+      let sub = Instance.make_keep_ids ~capacity tasks in
+      let state = state_of_entries !entries in
+      let sched = Heuristic.run ~state ?lp_node_limit heuristic sub in
+      entries := !entries @ Schedule.entries sched)
+    (slices ~batch (Instance.task_list instance));
+  Schedule.make ~capacity !entries

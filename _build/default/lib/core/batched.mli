@@ -1,0 +1,13 @@
+(** Scheduling in batches (Section 6.3): a runtime scheduler usually sees
+    only a window of independent tasks. The instance is cut into
+    consecutive batches in submission order; the heuristic runs on each
+    batch starting from the resource and memory state left by the previous
+    one, so unfinished transfers and computations carry over. *)
+
+val slices : batch:int -> 'a list -> 'a list list
+(** Consecutive slices of size [batch] (the last may be shorter).
+    Raises [Invalid_argument] when [batch < 1]. *)
+
+val run : ?lp_node_limit:int -> batch:int -> Heuristic.t -> Instance.t -> Schedule.t
+(** The paper uses [batch = 100]. With [batch >= n] this is exactly
+    [Heuristic.run]. *)

@@ -1,0 +1,24 @@
+let area = Instance.area_bound
+
+let omim instance = Johnson.omim (Instance.task_list instance)
+
+let memory_area instance =
+  let demand =
+    List.fold_left
+      (fun acc (t : Task.t) -> acc +. (t.Task.mem *. (t.Task.comm +. t.Task.comp)))
+      0.0 (Instance.task_list instance)
+  in
+  demand /. instance.Instance.capacity
+
+let tail instance =
+  match Instance.task_list instance with
+  | [] -> 0.0
+  | tasks ->
+      let min_comp =
+        List.fold_left (fun acc (t : Task.t) -> Float.min acc t.Task.comp) Float.infinity tasks
+      in
+      Instance.sum_comm instance +. min_comp
+
+let best instance =
+  List.fold_left Float.max 0.0
+    [ area instance; omim instance; memory_area instance; tail instance ]

@@ -1,0 +1,27 @@
+(** Lower bounds on the makespan of a DT instance.
+
+    OMIM (Johnson's optimum for infinite memory) is the paper's reference
+    bound; the area and memory bounds are cheaper or capacity-aware
+    complements. Every bound here is valid for every feasible schedule,
+    which the test suite checks against the heuristics and the exact
+    solvers. *)
+
+val area : Instance.t -> float
+(** [max (sum comm) (sum comp)]: each resource must process all its
+    work. *)
+
+val omim : Instance.t -> float
+(** Johnson's infinite-memory optimum — the paper's lower bound. *)
+
+val memory_area : Instance.t -> float
+(** Capacity-aware: task [i] holds [mem_i] memory for at least
+    [comm_i + comp_i] time, and no more than [C] memory exists, so
+    [makespan >= sum_i mem_i (comm_i + comp_i) / C]. Binding when the
+    capacity is tight relative to the aggregate memory demand. *)
+
+val tail : Instance.t -> float
+(** [sum comm + min comp]: the whole input volume must cross the link,
+    and some task computes after the final transfer. *)
+
+val best : Instance.t -> float
+(** The largest of the above. *)

@@ -1,0 +1,58 @@
+type rule =
+  | OOLCMR
+  | OOSCMR
+  | OOMAMR
+
+let all = [ OOLCMR; OOSCMR; OOMAMR ]
+
+let name = function
+  | OOLCMR -> "OOLCMR"
+  | OOSCMR -> "OOSCMR"
+  | OOMAMR -> "OOMAMR"
+
+let criterion = function
+  | OOLCMR -> Dynamic_rules.LCMR
+  | OOSCMR -> Dynamic_rules.SCMR
+  | OOMAMR -> Dynamic_rules.MAMR
+
+let run ?state ?order rule instance =
+  let capacity = instance.Instance.capacity in
+  let st = match state with Some s -> s | None -> Sim.initial_state () in
+  let initial =
+    match order with Some o -> o | None -> Johnson.order (Instance.task_list instance)
+  in
+  List.iter
+    (fun t ->
+      if t.Task.mem > capacity *. (1.0 +. 1e-12) then
+        invalid_arg
+          (Printf.sprintf "Corrected_rules.run: task %d needs %g > capacity %g" t.Task.id
+             t.Task.mem capacity))
+    initial;
+  let pending = ref initial in
+  let entries = ref [] in
+  let take t =
+    entries := Sim.schedule_task st ~capacity t :: !entries;
+    pending := List.filter (fun u -> u.Task.id <> t.Task.id) !pending
+  in
+  let rec step () =
+    match !pending with
+    | [] -> ()
+    | next :: _ ->
+        if Sim.fits_now st ~capacity next.Task.mem then take next
+        else begin
+          let candidates =
+            List.filter (fun t -> Sim.fits_now st ~capacity t.Task.mem) !pending
+          in
+          match
+            Dynamic_rules.select (criterion rule) ~cpu_free:(Sim.cpu_free_time st)
+              ~now:(Sim.link_free_time st) candidates
+          with
+          | Some t -> take t
+          | None ->
+              let advanced = Sim.advance_to_next_release st in
+              assert advanced
+        end;
+        step ()
+  in
+  step ();
+  Schedule.make ~capacity (List.rev !entries)

@@ -1,0 +1,22 @@
+(** Static order with dynamic corrections (Section 4.3).
+
+    The OMIM order (Johnson's order, optimal with infinite memory) is
+    followed as long as its next task fits in memory when the link becomes
+    idle. When it does not, a task is selected dynamically — among the
+    pending tasks that fit and induce minimum idle time on the processing
+    unit — and removed from the pending order. When nothing fits, the link
+    waits for the next memory release. *)
+
+type rule =
+  | OOLCMR  (** correction picks the largest communication time *)
+  | OOSCMR  (** correction picks the smallest communication time *)
+  | OOMAMR  (** correction picks the maximum computation/communication ratio *)
+
+val all : rule list
+val name : rule -> string
+val criterion : rule -> Dynamic_rules.criterion
+
+val run : ?state:Sim.state -> ?order:Task.t list -> rule -> Instance.t -> Schedule.t
+(** [order] overrides the precomputed static order (default: Johnson's
+    OMIM order); used by ablation benches. Raises [Invalid_argument] if a
+    task alone exceeds the capacity. *)

@@ -1,0 +1,187 @@
+type t = {
+  tasks : Task.t array;                (* indexed by task id *)
+  deps : int list array;               (* direct dependencies per id *)
+  capacity : float;
+}
+
+let make ~capacity pairs =
+  if capacity <= 0.0 then invalid_arg "Dag.make: capacity must be positive";
+  let n = List.length pairs in
+  let ids = List.map (fun ((t : Task.t), _) -> t.Task.id) pairs in
+  if List.length (List.sort_uniq Int.compare ids) <> n then
+    invalid_arg "Dag.make: duplicate task ids";
+  List.iter
+    (fun ((t : Task.t), ds) ->
+      List.iter
+        (fun d ->
+          if not (List.mem d ids) then invalid_arg "Dag.make: unknown dependency id";
+          if d = t.Task.id then invalid_arg "Dag.make: self-dependency")
+        ds)
+    pairs;
+  (* renumber to a dense 0..n-1 id space, preserving submission order *)
+  let old_ids = Array.of_list ids in
+  let new_of_old = Hashtbl.create n in
+  Array.iteri (fun i id -> Hashtbl.replace new_of_old id i) old_ids;
+  let tasks = Array.make n (Task.make ~id:0 ~comm:0.0 ~comp:0.0 ()) in
+  let deps = Array.make n [] in
+  List.iteri
+    (fun i ((t : Task.t), ds) ->
+      tasks.(i) <- Task.with_id t i;
+      deps.(i) <- List.map (Hashtbl.find new_of_old) ds)
+    pairs;
+  (* cycle detection by depth-first search *)
+  let state = Array.make n `White in
+  let rec visit i =
+    match state.(i) with
+    | `Grey -> invalid_arg "Dag.make: dependency cycle"
+    | `Black -> ()
+    | `White ->
+        state.(i) <- `Grey;
+        List.iter visit deps.(i);
+        state.(i) <- `Black
+  in
+  Array.iteri (fun i _ -> visit i) tasks;
+  { tasks; deps; capacity }
+
+let size t = Array.length t.tasks
+let capacity t = t.capacity
+let task_list t = Array.to_list t.tasks
+let dependencies t i =
+  if i < 0 || i >= size t then invalid_arg "Dag.dependencies: out of range";
+  t.deps.(i)
+
+let roots t =
+  List.filter (fun (tk : Task.t) -> t.deps.(tk.Task.id) = []) (task_list t)
+
+let topological_order t =
+  let n = size t in
+  let visited = Array.make n false in
+  let acc = ref [] in
+  let rec visit i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter visit t.deps.(i);
+      acc := t.tasks.(i) :: !acc
+    end
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done;
+  List.rev !acc
+
+let critical_path t =
+  let n = size t in
+  let memo = Array.make n (-1.0) in
+  let rec length i =
+    if memo.(i) >= 0.0 then memo.(i)
+    else begin
+      let below = List.fold_left (fun acc d -> Float.max acc (length d)) 0.0 t.deps.(i) in
+      let v = below +. t.tasks.(i).Task.comm +. t.tasks.(i).Task.comp in
+      memo.(i) <- v;
+      v
+    end
+  in
+  let best = ref 0.0 in
+  for i = 0 to n - 1 do
+    best := Float.max !best (length i)
+  done;
+  !best
+
+let waves t =
+  let n = size t in
+  let wave = Array.make n (-1) in
+  let rec wave_of i =
+    if wave.(i) >= 0 then wave.(i)
+    else begin
+      let w =
+        match t.deps.(i) with
+        | [] -> 0
+        | ds -> 1 + List.fold_left (fun acc d -> max acc (wave_of d)) 0 ds
+      in
+      wave.(i) <- w;
+      w
+    end
+  in
+  Array.iteri (fun i _ -> ignore (wave_of i)) t.tasks;
+  let depth = Array.fold_left max 0 wave + 1 in
+  let buckets = Array.make depth [] in
+  Array.iteri (fun i w -> buckets.(w) <- t.tasks.(i) :: buckets.(w)) wave;
+  Array.to_list (Array.map List.rev buckets)
+
+let schedule ?(heuristic = Heuristic.Corrected Corrected_rules.OOSCMR) t =
+  let entries = ref [] in
+  List.iter
+    (fun wave_tasks ->
+      (* barrier: the link may not proceed before every previous
+         computation has completed (the data being transferred next is
+         produced by those computations) *)
+      let cpu_free =
+        List.fold_left (fun acc e -> Float.max acc (Schedule.comp_end e)) 0.0 !entries
+      in
+      let state = Sim.restore_state ~link_free:cpu_free ~cpu_free ~held:[] in
+      let sub = Instance.make_keep_ids ~capacity:t.capacity wave_tasks in
+      let sched = Heuristic.run ~state heuristic sub in
+      entries := !entries @ Schedule.entries sched)
+    (waves t);
+  Schedule.make ~capacity:t.capacity !entries
+
+let check t sched =
+  match Schedule.check sched with
+  | Error v -> Error (Schedule.violation_to_string v)
+  | Ok () ->
+      let comp_end = Hashtbl.create (size t) in
+      List.iter
+        (fun e -> Hashtbl.replace comp_end e.Schedule.task.Task.id (Schedule.comp_end e))
+        (Schedule.entries sched);
+      let ok = ref (Ok ()) in
+      List.iter
+        (fun e ->
+          List.iter
+            (fun d ->
+              match Hashtbl.find_opt comp_end d with
+              | Some finish when e.Schedule.s_comm +. 1e-9 >= finish -> ()
+              | Some _ ->
+                  if !ok = Ok () then
+                    ok :=
+                      Error
+                        (Printf.sprintf "task %d transfers before dependency %d completes"
+                           e.Schedule.task.Task.id d)
+              | None ->
+                  if !ok = Ok () then
+                    ok := Error (Printf.sprintf "dependency %d was never scheduled" d))
+            t.deps.(e.Schedule.task.Task.id))
+        (Schedule.entries sched);
+      !ok
+
+let layered ~rng ~layers ~width ~edge_probability ~capacity_factor =
+  if layers <= 0 || width <= 0 then invalid_arg "Dag.layered: nonpositive size";
+  let pairs = ref [] in
+  for layer = 0 to layers - 1 do
+    for w = 0 to width - 1 do
+      let id = (layer * width) + w in
+      let comm = Dt_stats.Rng.uniform rng 0.5 8.0
+      and comp = Dt_stats.Rng.uniform rng 0.5 8.0 in
+      let task = Task.make ~id ~comm ~comp () in
+      let deps =
+        if layer = 0 then []
+        else begin
+          let prev w' = ((layer - 1) * width) + w' in
+          let sampled =
+            List.filter
+              (fun _ -> Dt_stats.Rng.float rng 1.0 < edge_probability)
+              (List.init width Fun.id)
+            |> List.map prev
+          in
+          (* keep the graph connected layer to layer *)
+          let forced = prev (Dt_stats.Rng.int rng width) in
+          List.sort_uniq Int.compare (forced :: sampled)
+        end
+      in
+      pairs := (task, deps) :: !pairs
+    done
+  done;
+  let pairs = List.rev !pairs in
+  let m_c =
+    List.fold_left (fun acc ((t : Task.t), _) -> Float.max acc t.Task.mem) 1.0 pairs
+  in
+  make ~capacity:(m_c *. capacity_factor) pairs

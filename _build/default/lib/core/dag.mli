@@ -1,0 +1,59 @@
+(** Task graphs: the irregular applications of the paper's introduction.
+
+    Task-based runtimes discover tasks recursively; at any instant they
+    see the {e ready} tasks — an independent set, which is exactly what
+    the transfer-ordering heuristics take as input. This module schedules
+    a DAG wave by wave: each wave is the current ready set, handed to a
+    heuristic with the executor state carried over, with a link barrier
+    between waves so no transfer starts before the data it depends on has
+    been produced. *)
+
+type t
+
+val make : capacity:float -> (Task.t * int list) list -> t
+(** [(task, dependencies)] pairs; dependencies refer to task ids in the
+    same list. Raises [Invalid_argument] on unknown ids, duplicate ids,
+    self-dependencies or cycles. *)
+
+val size : t -> int
+val capacity : t -> float
+val task_list : t -> Task.t list
+val dependencies : t -> int -> int list
+(** Direct dependencies of a task id. *)
+
+val roots : t -> Task.t list
+(** Tasks with no dependencies. *)
+
+val topological_order : t -> Task.t list
+
+val critical_path : t -> float
+(** Longest dependency chain, counting each task's communication +
+    computation: a successor's transfer cannot start before its
+    predecessor's computation completes, so this is a makespan lower
+    bound. *)
+
+val waves : t -> Task.t list list
+(** Ready sets in order: wave 0 = roots, wave k = tasks whose
+    dependencies all lie in earlier waves. *)
+
+val schedule : ?heuristic:Heuristic.t -> t -> Schedule.t
+(** Wave-by-wave scheduling (default heuristic: OOSCMR). Each wave is
+    scheduled as an independent batch; between waves the link waits for
+    every computation of the previous waves (barrier), so dependencies
+    are respected by construction. *)
+
+val check : t -> Schedule.t -> (unit, string) result
+(** {!Schedule.check} plus dependency respect: every task's transfer
+    starts no earlier than all its dependencies' computations end. *)
+
+val layered :
+  rng:Dt_stats.Rng.t ->
+  layers:int ->
+  width:int ->
+  edge_probability:float ->
+  capacity_factor:float ->
+  t
+(** Random layered DAG generator: [layers x width] tasks with random
+    comm/comp, each non-root task depending on 1 + binomial previous-layer
+    tasks; the capacity is [capacity_factor * m_c]. Raises
+    [Invalid_argument] on nonpositive sizes. *)

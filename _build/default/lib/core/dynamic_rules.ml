@@ -1,0 +1,78 @@
+type criterion =
+  | LCMR
+  | SCMR
+  | MAMR
+
+let all = [ LCMR; SCMR; MAMR ]
+
+let name = function
+  | LCMR -> "LCMR"
+  | SCMR -> "SCMR"
+  | MAMR -> "MAMR"
+
+(* Larger score wins; ties by smaller id. *)
+let score = function
+  | LCMR -> fun t -> t.Task.comm
+  | SCMR -> fun t -> -.t.Task.comm
+  | MAMR -> Task.acceleration
+
+let better key a b =
+  let c = Float.compare (key a) (key b) in
+  if c > 0 then true else if c < 0 then false else Task.compare_id a b < 0
+
+let select ?(min_idle_filter = true) criterion ~cpu_free ~now candidates =
+  let idle t = Float.max 0.0 (now +. t.Task.comm -. cpu_free) in
+  match candidates with
+  | [] -> None
+  | first :: _ ->
+      let eligible =
+        if not min_idle_filter then candidates
+        else begin
+          let min_idle =
+            List.fold_left (fun acc t -> Float.min acc (idle t)) (idle first) candidates
+          in
+          List.filter (fun t -> idle t <= min_idle +. 1e-12) candidates
+        end
+      in
+      let key = score criterion in
+      let best = function
+        | [] -> None
+        | t :: rest -> Some (List.fold_left (fun a b -> if better key b a then b else a) t rest)
+      in
+      best eligible
+
+let run ?state ?min_idle_filter criterion instance =
+  let capacity = instance.Instance.capacity in
+  let st = match state with Some s -> s | None -> Sim.initial_state () in
+  let remaining = ref (Instance.task_list instance) in
+  List.iter
+    (fun t ->
+      if t.Task.mem > capacity *. (1.0 +. 1e-12) then
+        invalid_arg
+          (Printf.sprintf "Dynamic_rules.run: task %d needs %g > capacity %g" t.Task.id
+             t.Task.mem capacity))
+    !remaining;
+  let entries = ref [] in
+  let rec step () =
+    match !remaining with
+    | [] -> ()
+    | _ ->
+        let candidates =
+          List.filter (fun t -> Sim.fits_now st ~capacity t.Task.mem) !remaining
+        in
+        (match
+           select ?min_idle_filter criterion ~cpu_free:(Sim.cpu_free_time st)
+             ~now:(Sim.link_free_time st) candidates
+         with
+        | Some t ->
+            entries := Sim.schedule_task st ~capacity t :: !entries;
+            remaining := List.filter (fun u -> u.Task.id <> t.Task.id) !remaining
+        | None ->
+            (* Nothing fits: wait for the next memory release. All tasks fit
+               the capacity alone, so a release must exist. *)
+            let advanced = Sim.advance_to_next_release st in
+            assert advanced);
+        step ()
+  in
+  step ();
+  Schedule.make ~capacity (List.rev !entries)

@@ -1,0 +1,124 @@
+let iter_permutations a f =
+  let a = Array.copy a in
+  let n = Array.length a in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec heap k =
+    if k <= 1 then f a
+    else
+      for i = 0 to k - 1 do
+        heap (k - 1);
+        if i < k - 1 then if k mod 2 = 0 then swap i (k - 1) else swap 0 (k - 1)
+      done
+  in
+  heap n
+
+let check_instance instance =
+  if Instance.size instance = 0 then invalid_arg "Exact: empty instance";
+  if not (Instance.feasible instance) then
+    invalid_arg "Exact: a task alone exceeds the memory capacity"
+
+(* Branch and bound over prefixes of the permutation. The simulator state of
+   the prefix is extended task by task; a prefix is cut when an optimistic
+   completion bound (remaining work placed with full overlap and no memory
+   stall) already matches the incumbent. *)
+let best_same_order instance =
+  check_instance instance;
+  let capacity = instance.Instance.capacity in
+  let tasks = Array.of_list (Instance.task_list instance) in
+  let n = Array.length tasks in
+  let best = ref Float.infinity and best_order = ref [] in
+  let used = Array.make n false in
+  let rec explore st prefix_rev depth rem_comm rem_comp =
+    if depth = n then begin
+      let mk = Sim.cpu_free_time st in
+      if mk < !best then begin
+        best := mk;
+        best_order := List.rev prefix_rev
+      end
+    end
+    else begin
+      let lower =
+        Float.max
+          (Sim.cpu_free_time st +. rem_comp)
+          (Sim.link_free_time st +. rem_comm)
+      in
+      if lower < !best -. 1e-12 then
+        for i = 0 to n - 1 do
+          if not used.(i) then begin
+            used.(i) <- true;
+            let st' = Sim.copy_state st in
+            ignore (Sim.schedule_task st' ~capacity tasks.(i));
+            explore st' (tasks.(i) :: prefix_rev) (depth + 1)
+              (rem_comm -. tasks.(i).Task.comm)
+              (rem_comp -. tasks.(i).Task.comp);
+            used.(i) <- false
+          end
+        done
+    end
+  in
+  explore (Sim.initial_state ()) [] 0 (Instance.sum_comm instance) (Instance.sum_comp instance);
+  Sim.run_order_exn ~capacity !best_order
+
+let best_free_order instance =
+  check_instance instance;
+  let capacity = instance.Instance.capacity in
+  let tasks = Array.of_list (Instance.task_list instance) in
+  let best = ref None and best_mk = ref Float.infinity in
+  iter_permutations tasks (fun comm_perm ->
+      let comm_order = Array.to_list comm_perm in
+      iter_permutations tasks (fun comp_perm ->
+          let comp_order = Array.to_list comp_perm in
+          match Sim.run_two_orders ~capacity ~comm_order comp_order with
+          | Error (Sim.Too_big _ | Sim.Deadlock _) -> ()
+          | Ok sched ->
+              let mk = Schedule.makespan sched in
+              if mk < !best_mk then begin
+                best_mk := mk;
+                best := Some sched
+              end))
+  ;
+  match !best with
+  | Some s -> s
+  | None -> invalid_arg "Exact.best_free_order: no feasible schedule"
+
+let optimal_no_wait_makespan tasks =
+  match tasks with
+  | [] -> 0.0
+  | _ ->
+      let arr = Array.of_list tasks in
+      let n = Array.length arr in
+      assert (n <= 15);
+      let p i = arr.(i).Task.comm and q i = arr.(i).Task.comp in
+      let cost i j =
+        (* moving from job i (or the dummy when i < 0) to job j *)
+        let out_state = if i < 0 then 0.0 else q i in
+        Float.max 0.0 (p j -. out_state)
+      in
+      let full = (1 lsl n) - 1 in
+      let dp = Array.make_matrix (full + 1) n Float.infinity in
+      for j = 0 to n - 1 do
+        dp.(1 lsl j).(j) <- cost (-1) j
+      done;
+      for s = 1 to full do
+        for j = 0 to n - 1 do
+          if s land (1 lsl j) <> 0 && dp.(s).(j) < Float.infinity then
+            for k = 0 to n - 1 do
+              if s land (1 lsl k) = 0 then begin
+                let s' = s lor (1 lsl k) in
+                let v = dp.(s).(j) +. cost j k in
+                if v < dp.(s').(k) then dp.(s').(k) <- v
+              end
+            done
+        done
+      done;
+      let sum_comp = Array.fold_left (fun acc t -> acc +. t.Task.comp) 0.0 arr in
+      let best = ref Float.infinity in
+      for j = 0 to n - 1 do
+        (* returning to the dummy costs max (0 - q j) 0 = 0 *)
+        if dp.(full).(j) < !best then best := dp.(full).(j)
+      done;
+      sum_comp +. !best

@@ -1,0 +1,24 @@
+(** Exact (exponential-time) solvers for small instances. They back the
+    paper's worked examples — in particular Proposition 1 / Table 2, where
+    every optimal schedule uses different orders on the two resources —
+    and serve as ground truth in the test suite. *)
+
+val best_same_order : Instance.t -> Schedule.t
+(** Optimal permutation schedule (same order on both resources), by branch
+    and bound over the [n!] orders. Practical for [n <= 10]. Raises
+    [Invalid_argument] on an instance whose largest task exceeds the
+    capacity, or on an empty instance. *)
+
+val best_free_order : Instance.t -> Schedule.t
+(** Optimal schedule when the communication and computation orders may
+    differ, by enumerating pairs of permutations and executing each pair
+    eagerly (deadlocked pairs are discarded). Practical for [n <= 6]. *)
+
+val optimal_no_wait_makespan : Task.t list -> float
+(** Minimum no-wait 2-machine flowshop makespan, by Held-Karp dynamic
+    programming over subsets ([n <= 15]). Ground truth for the
+    Gilmore-Gomory implementation. *)
+
+val iter_permutations : 'a array -> ('a array -> unit) -> unit
+(** Heap's algorithm; the callback must not retain the array. Exposed for
+    tests and for the brute-force baselines in the benches. *)

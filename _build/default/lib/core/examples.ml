@@ -1,0 +1,40 @@
+let t ?mem ~id ~label comm comp = Task.make ~label ?mem ~id ~comm ~comp ()
+
+let table2 =
+  Instance.make ~capacity:10.0
+    [
+      t ~id:0 ~label:"A" 0.0 5.0;
+      t ~id:1 ~label:"B" 4.0 3.0;
+      t ~id:2 ~label:"C" 1.0 6.0;
+      t ~id:3 ~label:"D" 3.0 7.0;
+      t ~id:4 ~label:"E" 6.0 0.5;
+      t ~id:5 ~label:"F" 7.0 0.5;
+    ]
+
+let table3 =
+  Instance.make ~capacity:10.0
+    [
+      t ~id:0 ~label:"A" 3.0 2.0;
+      t ~id:1 ~label:"B" 1.0 3.0;
+      t ~id:2 ~label:"C" 4.0 4.0;
+      t ~id:3 ~label:"D" 2.0 1.0;
+    ]
+
+let table4 =
+  Instance.make ~capacity:6.0
+    [
+      t ~id:0 ~label:"A" 3.0 2.0;
+      t ~id:1 ~label:"B" 1.0 6.0;
+      t ~id:2 ~label:"C" 4.0 6.0;
+      t ~id:3 ~label:"D" 5.0 1.0;
+    ]
+
+let table5 =
+  Instance.make ~capacity:9.0
+    [
+      t ~id:0 ~label:"A" 4.0 1.0;
+      t ~id:1 ~label:"B" 2.0 6.0;
+      t ~id:2 ~label:"C" 8.0 8.0;
+      t ~id:3 ~label:"D" 5.0 4.0;
+      t ~id:4 ~label:"E" 3.0 2.0;
+    ]

@@ -1,0 +1,17 @@
+(** The worked example instances of the paper (Tables 2-5), used by the
+    documentation, the test suite and the benchmark harness. Memory
+    requirement equals communication time (the paper's convention). *)
+
+val table2 : Instance.t
+(** Proposition 1's instance (capacity 10): every optimal schedule orders
+    the two resources differently. *)
+
+val table3 : Instance.t
+(** The static-order example (capacity 10 = total memory: the constraint
+    never binds). *)
+
+val table4 : Instance.t
+(** The dynamic-selection example (capacity 6). *)
+
+val table5 : Instance.t
+(** The corrected-order example (capacity 9). *)

@@ -1,0 +1,168 @@
+type task = {
+  id : int;
+  label : string;
+  input : float;
+  comp : float;
+  output : float;
+  mem_in : float;
+  mem_out : float;
+}
+
+let task ?label ?mem_in ?mem_out ~id ~input ~comp ~output () =
+  let label = match label with Some l -> l | None -> Printf.sprintf "t%d" id in
+  let mem_in = match mem_in with Some m -> m | None -> input in
+  let mem_out = match mem_out with Some m -> m | None -> output in
+  if input < 0.0 || comp < 0.0 || output < 0.0 || mem_in < 0.0 || mem_out < 0.0 then
+    invalid_arg "Flowshop3.task: negative field";
+  { id; label; input; comp; output; mem_in; mem_out }
+
+type entry = {
+  t3 : task;
+  s_in : float;
+  s_comp : float;
+  s_out : float;
+}
+
+let in_end e = e.s_in +. e.t3.input
+let comp_end e = e.s_comp +. e.t3.comp
+let out_end e = e.s_out +. e.t3.output
+
+let makespan entries = List.fold_left (fun acc e -> Float.max acc (out_end e)) 0.0 entries
+
+let memory_at entries time =
+  List.fold_left
+    (fun acc e ->
+      let held_in = if e.s_in <= time && time < comp_end e then e.t3.mem_in else 0.0 in
+      let held_out = if e.s_comp <= time && time < out_end e then e.t3.mem_out else 0.0 in
+      acc +. held_in +. held_out)
+    0.0 entries
+
+let eps = 1e-9
+
+let check ~capacity entries =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exclusive name intervals =
+    let positive = List.filter (fun (s, e, _) -> e > s) intervals in
+    let sorted = List.sort (fun (s1, _, _) (s2, _, _) -> Float.compare s1 s2) positive in
+    let rec walk = function
+      | (_, e1, i1) :: ((s2, _, i2) :: _ as rest) ->
+          if e1 > s2 +. eps then err "%s overlap between tasks %d and %d" name i1 i2
+          else walk rest
+      | [ _ ] | [] -> Ok ()
+    in
+    walk sorted
+  in
+  let ( let* ) = Result.bind in
+  let* () = exclusive "input" (List.map (fun e -> (e.s_in, in_end e, e.t3.id)) entries) in
+  let* () = exclusive "compute" (List.map (fun e -> (e.s_comp, comp_end e, e.t3.id)) entries) in
+  let* () = exclusive "output" (List.map (fun e -> (e.s_out, out_end e, e.t3.id)) entries) in
+  let* () =
+    if
+      List.for_all
+        (fun e -> e.s_comp +. eps >= in_end e && e.s_out +. eps >= comp_end e)
+        entries
+    then Ok ()
+    else err "stage precedence violated"
+  in
+  let checkpoints = List.concat_map (fun e -> [ e.s_in; e.s_comp ]) entries in
+  if
+    List.for_all
+      (fun t -> memory_at entries t <= capacity +. (eps *. Float.max 1.0 capacity))
+      checkpoints
+  then Ok ()
+  else err "memory capacity exceeded"
+
+let run_order ?(capacity = Float.infinity) tasks =
+  List.iter
+    (fun t ->
+      if t.mem_in +. t.mem_out > capacity *. (1.0 +. 1e-12) then
+        invalid_arg
+          (Printf.sprintf "Flowshop3.run_order: task %d needs %g > capacity %g" t.id
+             (t.mem_in +. t.mem_out) capacity))
+    tasks;
+  (* Unlike the 2-machine case, buffer acquisitions are not monotone in
+     time across tasks (an output buffer is taken at a computation start,
+     which may be later than a subsequent task's input start), so
+     placement works over explicit holding intervals: a buffer of
+     [amount] may start at [s] when [max over t >= s of usage t] leaves
+     room — a conservative but always-safe criterion, monotone in [s]. *)
+  let holdings = ref [] (* (start, stop, amount) of placed buffers *) in
+  let usage_at time =
+    List.fold_left
+      (fun acc (s, e, m) -> if s <= time && time < e then acc +. m else acc)
+      0.0 !holdings
+  in
+  let earliest_fit lower amount =
+    let fits s =
+      let points =
+        s :: List.concat_map (fun (hs, he, _) -> [ hs; he ]) !holdings
+        |> List.filter (fun t -> t >= s)
+      in
+      List.for_all (fun t -> usage_at t +. amount <= capacity *. (1.0 +. 1e-12)) points
+    in
+    if fits lower then lower
+    else begin
+      let candidates =
+        List.filter (fun t -> t > lower) (List.map (fun (_, e, _) -> e) !holdings)
+        |> List.sort_uniq Float.compare
+      in
+      match List.find_opt fits candidates with
+      | Some s -> s
+      | None -> invalid_arg "Flowshop3.run_order: memory cannot be satisfied"
+    end
+  in
+  let hold ~start ~stop amount = holdings := (start, stop, amount) :: !holdings in
+  let in_free = ref 0.0 and cpu_free = ref 0.0 and out_free = ref 0.0 in
+  let entries = ref [] in
+  List.iter
+    (fun t ->
+      let s_in = earliest_fit !in_free t.mem_in in
+      let data_ready = s_in +. t.input in
+      (* the output buffer must fit before the computation may start; the
+         input buffer is modelled as held to infinity until its release
+         instant (the computation end) is known, which only makes the
+         placement more conservative *)
+      hold ~start:s_in ~stop:Float.infinity t.mem_in;
+      let s_comp = earliest_fit (Float.max data_ready !cpu_free) t.mem_out in
+      let c_end = s_comp +. t.comp in
+      let s_out = Float.max c_end !out_free in
+      (* replace the provisional input holding (still the list head: the
+         fit search does not modify the holdings) with the real interval *)
+      (match !holdings with
+      | (s, e, _) :: rest when s = s_in && e = Float.infinity ->
+          holdings := (s_in, c_end, t.mem_in) :: rest
+      | _ :: _ | [] -> assert false);
+      hold ~start:s_comp ~stop:(s_out +. t.output) t.mem_out;
+      in_free := data_ready;
+      cpu_free := c_end;
+      out_free := s_out +. t.output;
+      entries := { t3 = t; s_in; s_comp; s_out } :: !entries)
+    tasks;
+  List.rev !entries
+
+let johnson_order tasks =
+  let s1, s2 = List.partition (fun t -> t.comp +. t.output >= t.input +. t.comp) tasks in
+  let by key cmp l =
+    List.sort
+      (fun a b ->
+        let c = cmp (key a) (key b) in
+        if c <> 0 then c else Int.compare a.id b.id)
+      l
+  in
+  by (fun t -> t.input +. t.comp) Float.compare s1
+  @ by (fun t -> t.comp +. t.output) (fun a b -> Float.compare b a) s2
+
+let lower_bound tasks =
+  let sum f = List.fold_left (fun acc t -> acc +. f t) 0.0 tasks in
+  let pipeline =
+    List.fold_left (fun acc t -> Float.min acc (t.input +. t.comp +. t.output)) Float.infinity
+      tasks
+  in
+  let pipeline = if tasks = [] then 0.0 else pipeline in
+  List.fold_left Float.max 0.0
+    [
+      sum (fun t -> t.input);
+      sum (fun t -> t.comp);
+      sum (fun t -> t.output);
+      pipeline;
+    ]

@@ -1,0 +1,63 @@
+(** The general form of the data-transfer problem (Section 3 of the
+    paper): tasks whose output data must also be retrieved, i.e. a
+    3-machine flowshop — input link, processing unit, output link (e.g. a
+    GPU's two copy engines). The paper drops the output stage by
+    assumption; this module implements the full pipeline as an extension.
+
+    Memory: the input buffer is held from the start of the input transfer
+    to the end of the computation (as in DT); the output buffer is held
+    from the start of the computation to the end of the output
+    transfer. *)
+
+type task = private {
+  id : int;
+  label : string;
+  input : float;    (** input transfer time *)
+  comp : float;
+  output : float;   (** output transfer time *)
+  mem_in : float;
+  mem_out : float;
+}
+
+val task :
+  ?label:string ->
+  ?mem_in:float ->
+  ?mem_out:float ->
+  id:int ->
+  input:float ->
+  comp:float ->
+  output:float ->
+  unit ->
+  task
+(** Memory defaults to the corresponding transfer times. Raises
+    [Invalid_argument] on negative fields. *)
+
+type entry = {
+  t3 : task;
+  s_in : float;
+  s_comp : float;
+  s_out : float;
+}
+
+val makespan : entry list -> float
+(** Latest output completion. *)
+
+val check : capacity:float -> entry list -> (unit, string) result
+(** Resource exclusivity on the three stages, precedence, and the memory
+    capacity over both buffer kinds. *)
+
+val run_order : ?capacity:float -> task list -> entry list
+(** Eager execution in the given order on all three resources
+    ([capacity] defaults to infinite). Raises [Invalid_argument] when a
+    task's [mem_in + mem_out] alone exceeds the capacity. *)
+
+val johnson_order : task list -> task list
+(** The classical 3-machine Johnson rule: order by Johnson's 2-machine
+    algorithm on the aggregated times [(input + comp, comp + output)].
+    Optimal when the middle stage is dominated (e.g.
+    [min input >= max comp] or [min output >= max comp]); a strong
+    heuristic otherwise. *)
+
+val lower_bound : task list -> float
+(** Max of the three per-stage areas and the best single-task pipeline
+    length. *)

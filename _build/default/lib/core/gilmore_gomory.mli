@@ -1,0 +1,26 @@
+(** The Gilmore-Gomory algorithm for the 2-machine no-wait flowshop
+    (Operations Research, 1964), used as the GG heuristic in Section 4.4.
+
+    A no-wait schedule starts each computation exactly when its transfer
+    completes. Minimising the no-wait makespan is a travelling-salesman
+    problem with cost [c(i, j) = max (comm_j - comp_i) 0] and a dummy
+    job closing the tour; this special TSP ("one state-variable machine")
+    is solved in polynomial time by a sorted assignment followed by cycle
+    patching. The resulting sequence ignores memory, and is then executed
+    under the capacity constraint like any other static order. *)
+
+val order : Task.t list -> Task.t list
+(** Sequence minimising the no-wait makespan. Patching interchanges are
+    applied greedily by increasing cost with recomputation, merging cycles
+    until the successor permutation is a single tour. *)
+
+val no_wait_makespan : Task.t list -> float
+(** Makespan of the given sequence under the no-wait discipline (each
+    computation starts exactly at its communication's end; communications
+    are delayed as needed). Used to validate {!order} against brute
+    force. *)
+
+val run : ?state:Sim.state -> Instance.t -> Schedule.t
+(** Execute the GG sequence under the instance's memory capacity (not
+    no-wait anymore: the ordinary eager executor is used, as in the
+    paper). *)

@@ -1,0 +1,70 @@
+type t =
+  | Static of Static_rules.rule
+  | Gg
+  | Bp
+  | Dynamic of Dynamic_rules.criterion
+  | Corrected of Corrected_rules.rule
+  | Lp of int
+
+type category =
+  | Static_order
+  | Dynamic_selection
+  | Corrected_order
+  | Lp_based
+
+let category = function
+  | Static _ | Gg | Bp -> Static_order
+  | Dynamic _ -> Dynamic_selection
+  | Corrected _ -> Corrected_order
+  | Lp _ -> Lp_based
+
+let category_name = function
+  | Static_order -> "static"
+  | Dynamic_selection -> "dynamic"
+  | Corrected_order -> "static+corrections"
+  | Lp_based -> "lp"
+
+let name = function
+  | Static r -> Static_rules.name r
+  | Gg -> "GG"
+  | Bp -> "BP"
+  | Dynamic c -> Dynamic_rules.name c
+  | Corrected r -> Corrected_rules.name r
+  | Lp k -> Printf.sprintf "lp.%d" k
+
+let all =
+  List.map (fun r -> Static r) Static_rules.all
+  @ [ Gg; Bp ]
+  @ List.map (fun c -> Dynamic c) Dynamic_rules.all
+  @ List.map (fun r -> Corrected r) Corrected_rules.all
+
+let all_with_lp ~k = all @ List.map (fun k -> Lp k) k
+
+let of_name s =
+  let s = String.lowercase_ascii s in
+  let exact = List.find_opt (fun h -> String.lowercase_ascii (name h) = s) all in
+  match exact with
+  | Some h -> Some h
+  | None ->
+      if String.length s > 3 && String.sub s 0 3 = "lp." then
+        match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+        | Some k when k >= 1 -> Some (Lp k)
+        | Some _ | None -> None
+      else None
+
+let run ?state ?lp_node_limit h instance =
+  match h with
+  | Static r -> Static_rules.run ?state r instance
+  | Gg -> Gilmore_gomory.run ?state instance
+  | Bp -> Bin_packing.run ?state instance
+  | Dynamic c -> Dynamic_rules.run ?state c instance
+  | Corrected r -> Corrected_rules.run ?state r instance
+  | Lp k ->
+      let boundary =
+        Option.map
+          (fun st ->
+            let link_free, cpu_free, held = Sim.dump_state st in
+            { Lp_schedule.link_free; cpu_free; held })
+          state
+      in
+      Lp_schedule.run ?node_limit:lp_node_limit ?boundary ~k instance

@@ -1,0 +1,38 @@
+(** Registry of every scheduling strategy of the paper, grouped by
+    category, with a single entry point to run any of them on an
+    instance. *)
+
+type t =
+  | Static of Static_rules.rule       (** Section 4.1 *)
+  | Gg                                (** Gilmore-Gomory, Section 4.4 *)
+  | Bp                                (** First-Fit bin packing, Section 4.4 *)
+  | Dynamic of Dynamic_rules.criterion(** Section 4.2 *)
+  | Corrected of Corrected_rules.rule (** Section 4.3 *)
+  | Lp of int                         (** lp.k, Section 4.5 *)
+
+type category =
+  | Static_order
+  | Dynamic_selection
+  | Corrected_order
+  | Lp_based
+
+val category : t -> category
+val category_name : category -> string
+
+val name : t -> string
+(** The paper's acronym: "OOSIM", "LCMR", "OOMAMR", "GG", "BP", "lp.4"... *)
+
+val of_name : string -> t option
+(** Inverse of {!name} (case-insensitive). *)
+
+val all : t list
+(** Every heuristic evaluated in Figures 9 and 11: the six static orders,
+    GG, BP, the three dynamic criteria and the three corrected rules —
+    lp.k excluded (compare Figure 7). *)
+
+val all_with_lp : k:int list -> t list
+
+val run : ?state:Sim.state -> ?lp_node_limit:int -> t -> Instance.t -> Schedule.t
+(** Run the heuristic under the instance's capacity, optionally starting
+    from a carried-over executor state (batched scheduling). Raises
+    [Invalid_argument] when a task alone exceeds the capacity. *)

@@ -1,0 +1,43 @@
+(** An instance of problem DT: a set of independent tasks plus a memory
+    capacity for the target memory node. *)
+
+type t = private {
+  tasks : Task.t array;  (** in submission order; [tasks.(i).id = i] *)
+  capacity : float;      (** memory capacity [C]; [infinity] = unconstrained *)
+}
+
+val make : capacity:float -> Task.t list -> t
+(** Tasks are renumbered [0..n-1] in the given (submission) order.
+    Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val make_keep_ids : capacity:float -> Task.t list -> t
+(** Like {!make} but keeps the tasks' existing ids (they must be
+    distinct). Used when slicing an instance into batches whose schedules
+    are later merged. *)
+
+val of_triples : capacity:float -> (float * float) list -> t
+(** [(comm, comp)] pairs with [mem = comm] (the paper's convention). *)
+
+val with_capacity : t -> float -> t
+
+val size : t -> int
+val task : t -> int -> Task.t
+val task_list : t -> Task.t list
+
+val min_capacity : t -> float
+(** [m_c]: the smallest capacity under which every task can execute, i.e.
+    the largest single memory requirement. *)
+
+val sum_comm : t -> float
+val sum_comp : t -> float
+
+val serial_makespan : t -> float
+(** [sum_comm + sum_comp]: makespan with zero overlap (upper bound). *)
+
+val area_bound : t -> float
+(** [max (sum_comm, sum_comp)]: lower bound on any makespan. *)
+
+val feasible : t -> bool
+(** Every task fits in the capacity on its own. *)
+
+val pp : Format.formatter -> t -> unit

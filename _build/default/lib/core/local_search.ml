@@ -1,0 +1,36 @@
+let makespan_of ~capacity order =
+  Schedule.makespan (Sim.run_order_exn ~capacity order)
+
+let swap_at arr i =
+  let a = Array.copy arr in
+  let t = a.(i) in
+  a.(i) <- a.(i + 1);
+  a.(i + 1) <- t;
+  a
+
+let improve ?(max_rounds = 50) ~capacity order =
+  let current = ref (Array.of_list order) in
+  let best = ref (makespan_of ~capacity order) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    for i = 0 to Array.length !current - 2 do
+      let candidate = swap_at !current i in
+      let mk = makespan_of ~capacity (Array.to_list candidate) in
+      if mk < !best -. 1e-12 then begin
+        current := candidate;
+        best := mk;
+        improved := true
+      end
+    done
+  done;
+  (Array.to_list !current, !best)
+
+let polish heuristic instance =
+  let capacity = instance.Instance.capacity in
+  let sched = Heuristic.run heuristic instance in
+  let order = List.map (fun e -> e.Schedule.task) (Schedule.entries sched) in
+  let order', mk = improve ~capacity order in
+  if mk < Schedule.makespan sched then Sim.run_order_exn ~capacity order' else sched

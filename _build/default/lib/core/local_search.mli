@@ -1,0 +1,21 @@
+(** Local search over permutation schedules: adjacent-swap hill climbing.
+
+    Lemma 1 of the paper characterises when swapping two contiguous tasks
+    cannot improve an (infinite-memory) schedule; with finite memory no
+    such characterisation holds (that is what makes the problem hard), so
+    searching the swap neighbourhood is a natural post-optimiser for any
+    heuristic's order. *)
+
+val improve :
+  ?max_rounds:int ->
+  capacity:float ->
+  Task.t list ->
+  Task.t list * float
+(** [improve ~capacity order] repeatedly applies the best improving
+    adjacent swap (first-improvement sweeps, at most [max_rounds], default
+    50) and returns the final order with its makespan. The result is
+    never worse than the input. Raises [Invalid_argument] when a task
+    alone exceeds the capacity. *)
+
+val polish : Heuristic.t -> Instance.t -> Schedule.t
+(** Run the heuristic, then {!improve} its task order. *)

@@ -1,0 +1,30 @@
+type t = {
+  makespan : float;
+  omim : float;
+  ratio : float;
+  overlap : float;
+  comm_idle : float;
+  comp_idle : float;
+  peak_memory : float;
+}
+
+let evaluate instance schedule =
+  if Instance.size instance = 0 then invalid_arg "Metrics.evaluate: empty instance";
+  let omim = Johnson.omim (Instance.task_list instance) in
+  let makespan = Schedule.makespan schedule in
+  {
+    makespan;
+    omim;
+    ratio = (if omim > 0.0 then makespan /. omim else 1.0);
+    overlap = Schedule.overlap schedule;
+    comm_idle = Schedule.comm_idle schedule;
+    comp_idle = Schedule.comp_idle schedule;
+    peak_memory = Schedule.peak_memory schedule;
+  }
+
+let ratio instance schedule = (evaluate instance schedule).ratio
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<h>makespan=%.6g omim=%.6g r=%.4f overlap=%.6g idle(comm)=%.6g idle(comp)=%.6g peak=%.6g@]"
+    m.makespan m.omim m.ratio m.overlap m.comm_idle m.comp_idle m.peak_memory

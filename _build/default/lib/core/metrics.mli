@@ -1,0 +1,19 @@
+(** Performance metrics of Section 6: the ratio to the infinite-memory
+    optimum, plus overlap and idle-time accounting. *)
+
+type t = {
+  makespan : float;
+  omim : float;         (** the OMIM lower bound of the instance *)
+  ratio : float;        (** makespan / OMIM, the paper's metric [r >= 1] *)
+  overlap : float;      (** time with both resources busy *)
+  comm_idle : float;
+  comp_idle : float;
+  peak_memory : float;
+}
+
+val evaluate : Instance.t -> Schedule.t -> t
+(** Raises [Invalid_argument] on an empty instance (OMIM would be 0). *)
+
+val ratio : Instance.t -> Schedule.t -> float
+
+val pp : Format.formatter -> t -> unit

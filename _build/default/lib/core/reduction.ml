@@ -1,0 +1,125 @@
+type threepar = {
+  values : int array;
+  m : int;
+}
+
+let threepar values =
+  let n = Array.length values in
+  if n = 0 || n mod 3 <> 0 then invalid_arg "Reduction.threepar: need 3m > 0 integers";
+  let m = n / 3 in
+  let sum = Array.fold_left ( + ) 0 values in
+  if sum mod m <> 0 then invalid_arg "Reduction.threepar: sum not divisible by m";
+  Array.iter (fun a -> if a <= 1 then invalid_arg "Reduction.threepar: values must be > 1") values;
+  { values; m }
+
+let triple_sum tp = Array.fold_left ( + ) 0 tp.values / tp.m
+
+let x_of tp = Array.fold_left max 0 tp.values
+
+let b' tp = triple_sum tp + (6 * x_of tp)
+
+let to_instance tp =
+  let bp = float_of_int (b' tp) and x = x_of tp in
+  let k_tasks =
+    List.init (tp.m + 1) (fun i ->
+        let comm = if i = 0 then 0.0 else bp in
+        let comp = if i = tp.m then 0.0 else 3.0 in
+        Task.make ~label:(Printf.sprintf "K%d" i) ~id:i ~comm ~comp ())
+  in
+  let a_tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i a ->
+           Task.make
+             ~label:(Printf.sprintf "A%d" (i + 1))
+             ~id:(tp.m + 1 + i) ~comm:1.0
+             ~comp:(float_of_int (a + (2 * x)))
+             ())
+         tp.values)
+  in
+  Instance.make ~capacity:(bp +. 3.0) (k_tasks @ a_tasks)
+
+let target_makespan tp = float_of_int (tp.m * (b' tp + 3))
+
+let is_valid_partition tp triplets =
+  let b = triple_sum tp in
+  let seen = Array.make (Array.length tp.values) false in
+  let ok_triplet tr =
+    List.length tr = 3
+    && List.for_all (fun i -> i >= 0 && i < Array.length tp.values && not seen.(i)) tr
+    &&
+    (List.iter (fun i -> seen.(i) <- true) tr;
+     List.fold_left (fun acc i -> acc + tp.values.(i)) 0 tr = b)
+  in
+  List.length triplets = tp.m && List.for_all ok_triplet triplets
+  && Array.for_all (fun s -> s) seen
+
+let schedule_of_partition tp triplets =
+  if not (is_valid_partition tp triplets) then
+    invalid_arg "Reduction.schedule_of_partition: invalid partition";
+  let instance = to_instance tp in
+  let bp = float_of_int (b' tp) in
+  let seg = bp +. 3.0 in
+  let entries = ref [] in
+  let add task s_comm s_comp = entries := { Schedule.task; s_comm; s_comp } :: !entries in
+  (* K_i: communication during segment i - 1's computation slot end, in
+     [3 + (i-1) seg, 3 + (i-1) seg + b']; computation in [i seg, i seg + 3]. *)
+  for i = 0 to tp.m do
+    let task = Instance.task instance i in
+    let s_comm = if i = 0 then 0.0 else 3.0 +. (float_of_int (i - 1) *. seg) in
+    let s_comp = float_of_int i *. seg in
+    add task s_comm s_comp
+  done;
+  (* Triplet TR_i: three unit communications during K_(i-1)'s computation,
+     computations back to back during K_i's communication. *)
+  List.iteri
+    (fun idx tr ->
+      let i = idx + 1 in
+      let base = float_of_int (i - 1) *. seg in
+      let comp_start = ref (base +. 3.0) in
+      List.iteri
+        (fun k j ->
+          let task = Instance.task instance (tp.m + 1 + j) in
+          let s_comm = base +. float_of_int k in
+          add task s_comm !comp_start;
+          comp_start := !comp_start +. task.Task.comp)
+        tr)
+    triplets;
+  Schedule.make ~capacity:instance.Instance.capacity (List.rev !entries)
+
+let partition_of_schedule tp sched =
+  let l = target_makespan tp in
+  if Schedule.makespan sched > l +. 1e-9 then None
+  else begin
+    (* Locate each separator's communication window; every A task whose
+       computation happens inside window i belongs to triplet i. *)
+    let k_windows = Array.make (tp.m + 1) (0.0, 0.0) in
+    let assignments = Array.make tp.m [] in
+    List.iter
+      (fun e ->
+        let id = e.Schedule.task.Task.id in
+        if id <= tp.m then k_windows.(id) <- (e.Schedule.s_comm, Schedule.comm_end e))
+      (Schedule.entries sched);
+    let ok = ref true in
+    List.iter
+      (fun e ->
+        let id = e.Schedule.task.Task.id in
+        if id > tp.m then begin
+          let s = e.Schedule.s_comp and f = Schedule.comp_end e in
+          let placed = ref false in
+          for i = 1 to tp.m do
+            let lo, hi = k_windows.(i) in
+            if s >= lo -. 1e-9 && f <= hi +. 1e-9 then begin
+              assignments.(i - 1) <- (id - tp.m - 1) :: assignments.(i - 1);
+              placed := true
+            end
+          done;
+          if not !placed then ok := false
+        end)
+      (Schedule.entries sched);
+    if not !ok then None
+    else begin
+      let triplets = Array.to_list assignments in
+      if is_valid_partition tp triplets then Some triplets else None
+    end
+  end

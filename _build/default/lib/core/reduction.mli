@@ -1,0 +1,40 @@
+(** The polynomial reduction from 3-PARTITION to problem DT used in the
+    NP-completeness proof (Theorem 2, Table 1 of the paper), together with
+    both directions of the equivalence, so the construction can be
+    exercised and tested. *)
+
+type threepar = private {
+  values : int array;  (** the [3m] integers, each > 1 *)
+  m : int;
+}
+
+val threepar : int array -> threepar
+(** Raises [Invalid_argument] unless the array has [3m > 0] elements, all
+    [> 1], with a sum divisible by [m]. *)
+
+val triple_sum : threepar -> int
+(** [b = (sum values) / m], the target sum of each triplet. *)
+
+val to_instance : threepar -> Instance.t
+(** Table 1 construction: tasks [K_0 .. K_m] (separator tasks of
+    communication time [b' = b + 6x] where [x = max values]) interleaved
+    with [A_1 .. A_3m] (communication 1, computation [a_i + 2x]); memory
+    capacity [C = b' + 3]. Task ids: [K_i] has id [i]; [A_i] has id
+    [m + i]. *)
+
+val target_makespan : threepar -> float
+(** [L = m (b' + 3)]: the instance has a schedule of makespan [L] iff the
+    3-PARTITION instance is a yes-instance. *)
+
+val schedule_of_partition : threepar -> int list list -> Schedule.t
+(** Build the no-idle-time schedule of Figure 2 from a valid partition
+    into triplets (given as lists of 0-based indices into [values]).
+    Raises [Invalid_argument] on an invalid partition. *)
+
+val partition_of_schedule : threepar -> Schedule.t -> int list list option
+(** Recover a partition from a feasible schedule of makespan at most [L]:
+    group the [A] tasks by the separator communication phase in which they
+    compute; [None] when the grouping does not yield triplets of sum [b]
+    (e.g. the schedule is longer than [L]). *)
+
+val is_valid_partition : threepar -> int list list -> bool

@@ -1,0 +1,179 @@
+type state = {
+  mutable link_free : float;
+  mutable cpu_free : float;
+  mutable used : float;
+  releases : (float * float) Queue.t;
+      (* (computation end, memory) — pushed in computation order, hence in
+         nondecreasing time: computations are sequential on the single
+         processing unit, so their completion instants are ordered. *)
+}
+
+let initial_state () =
+  { link_free = 0.0; cpu_free = 0.0; used = 0.0; releases = Queue.create () }
+
+let copy_state st =
+  {
+    link_free = st.link_free;
+    cpu_free = st.cpu_free;
+    used = st.used;
+    releases = Queue.copy st.releases;
+  }
+
+let restore_state ~link_free ~cpu_free ~held =
+  let st = initial_state () in
+  st.link_free <- link_free;
+  st.cpu_free <- cpu_free;
+  List.iter
+    (fun (t, m) ->
+      st.used <- st.used +. m;
+      Queue.push (t, m) st.releases)
+    (List.sort (fun (a, _) (b, _) -> Float.compare a b) held);
+  st
+
+let dump_state st =
+  (st.link_free, st.cpu_free, List.of_seq (Queue.to_seq st.releases))
+
+let link_free_time st = st.link_free
+let cpu_free_time st = st.cpu_free
+let memory_in_use st = st.used
+
+let process_releases_until st time =
+  let rec loop () =
+    match Queue.peek_opt st.releases with
+    | Some (t, m) when t <= time ->
+        ignore (Queue.pop st.releases);
+        st.used <- st.used -. m;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let advance_to_next_release st =
+  match Queue.peek_opt st.releases with
+  | None -> false
+  | Some (t, m) ->
+      ignore (Queue.pop st.releases);
+      st.used <- st.used -. m;
+      if t > st.link_free then st.link_free <- t;
+      true
+
+let fits_now st ~capacity m =
+  process_releases_until st st.link_free;
+  st.used +. m <= capacity *. (1.0 +. 1e-12)
+
+let schedule_task st ~capacity (task : Task.t) =
+  if task.Task.mem > capacity *. (1.0 +. 1e-12) then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_task: task %d needs %g > capacity %g" task.Task.id
+         task.Task.mem capacity);
+  process_releases_until st st.link_free;
+  let start = ref st.link_free in
+  while st.used +. task.Task.mem > capacity *. (1.0 +. 1e-12) do
+    match Queue.take_opt st.releases with
+    | None -> assert false (* task.mem <= capacity, so memory must free up *)
+    | Some (t, m) ->
+        st.used <- st.used -. m;
+        if t > !start then start := t
+  done;
+  let s_comm = !start in
+  let comm_end = s_comm +. task.Task.comm in
+  let s_comp = Float.max comm_end st.cpu_free in
+  let comp_end = s_comp +. task.Task.comp in
+  st.used <- st.used +. task.Task.mem;
+  Queue.push (comp_end, task.Task.mem) st.releases;
+  st.link_free <- comm_end;
+  st.cpu_free <- comp_end;
+  { Schedule.task; s_comm; s_comp }
+
+let run_order ?state ~capacity tasks =
+  let st = match state with Some s -> s | None -> initial_state () in
+  let rec loop acc = function
+    | [] -> Ok (Schedule.make ~capacity (List.rev acc))
+    | t :: rest ->
+        if t.Task.mem > capacity *. (1.0 +. 1e-12) then Error t
+        else loop (schedule_task st ~capacity t :: acc) rest
+  in
+  loop [] tasks
+
+let run_order_exn ?state ~capacity tasks =
+  match run_order ?state ~capacity tasks with
+  | Ok s -> s
+  | Error t ->
+      invalid_arg
+        (Printf.sprintf "Sim.run_order_exn: task %d needs %g > capacity %g" t.Task.id
+           t.Task.mem capacity)
+
+type dual_error =
+  | Too_big of Task.t
+  | Deadlock of Task.t
+
+(* Dual-order execution. Computations are scheduled eagerly whenever the
+   head of the computation order has its data; the head communication is
+   then started at the earliest fitting instant, where "fitting" may only
+   rely on releases of already-scheduled computations: any not-yet-scheduled
+   computation is blocked behind a communication that comes at or after the
+   head, so it cannot release memory before the head starts. *)
+let run_two_orders ?state ~capacity ~comm_order comp_order =
+  let st = match state with Some s -> s | None -> initial_state () in
+  let comm_end_of = Hashtbl.create 16 and s_comm_of = Hashtbl.create 16 in
+  let entries = ref [] in
+  let pending_comm = ref comm_order and pending_comp = ref comp_order in
+  let exception Stop of dual_error in
+  let schedule_ready_comps () =
+    let progress = ref false in
+    let rec loop () =
+      match !pending_comp with
+      | [] -> ()
+      | t :: rest -> (
+          match Hashtbl.find_opt comm_end_of t.Task.id with
+          | None -> ()
+          | Some ce ->
+              let s_comp = Float.max ce st.cpu_free in
+              let comp_end = s_comp +. t.Task.comp in
+              st.cpu_free <- comp_end;
+              Queue.push (comp_end, t.Task.mem) st.releases;
+              let s_comm = Hashtbl.find s_comm_of t.Task.id in
+              entries := { Schedule.task = t; s_comm; s_comp } :: !entries;
+              pending_comp := rest;
+              progress := true;
+              loop ())
+    in
+    loop ();
+    !progress
+  in
+  let start_head_comm () =
+    match !pending_comm with
+    | [] -> false
+    | t :: rest ->
+        if t.Task.mem > capacity *. (1.0 +. 1e-12) then raise (Stop (Too_big t));
+        process_releases_until st st.link_free;
+        let start = ref st.link_free in
+        let fits = ref (st.used +. t.Task.mem <= capacity *. (1.0 +. 1e-12)) in
+        while not !fits do
+          match Queue.take_opt st.releases with
+          | None -> raise (Stop (Deadlock t))
+          | Some (time, m) ->
+              st.used <- st.used -. m;
+              if time > !start then start := time;
+              fits := st.used +. t.Task.mem <= capacity *. (1.0 +. 1e-12)
+        done;
+        let s_comm = !start in
+        st.used <- st.used +. t.Task.mem;
+        st.link_free <- s_comm +. t.Task.comm;
+        Hashtbl.replace s_comm_of t.Task.id s_comm;
+        Hashtbl.replace comm_end_of t.Task.id (s_comm +. t.Task.comm);
+        pending_comm := rest;
+        true
+  in
+  try
+    let rec drive () =
+      let p1 = schedule_ready_comps () in
+      let p2 = start_head_comm () in
+      if p1 || p2 then drive ()
+      else
+        match (!pending_comm, !pending_comp) with
+        | [], [] -> Ok (Schedule.make ~capacity (List.rev !entries))
+        | _, t :: _ | t :: _, _ -> Error (Deadlock t)
+    in
+    drive ()
+  with Stop e -> Error e

@@ -1,0 +1,77 @@
+(** Greedy executors for problem DT.
+
+    Given an order of the tasks (the decision variable of the problem), the
+    executor starts every event as early as possible: a communication starts
+    at the first instant at which the link is free and the task's memory
+    fits; a computation starts as soon as its data has arrived and the
+    processing unit is free. For fixed orders this eagerness is optimal:
+    delaying a communication never frees memory earlier and delaying a
+    computation only postpones a memory release.
+
+    A {!state} value carries the resource availability and the memory still
+    held by unfinished tasks, so that successive batches can be chained
+    (Section 6.3 of the paper). *)
+
+type state
+(** Mutable executor state: link/processor availability, memory in use and
+    the pending release events (computation completions). *)
+
+val initial_state : unit -> state
+(** Everything free at time [0.]. *)
+
+val copy_state : state -> state
+
+val restore_state :
+  link_free:float -> cpu_free:float -> held:(float * float) list -> state
+(** Rebuild a state from explicit resource availabilities and a list of
+    [(release_time, memory)] pairs for tasks still holding memory (sorted
+    by release time internally). Used to hand a partial schedule over to
+    another engine (lp.k chunk boundaries, batch boundaries). *)
+
+val dump_state : state -> float * float * (float * float) list
+(** [(link_free, cpu_free, held)] — the inverse of {!restore_state}. *)
+
+val link_free_time : state -> float
+val cpu_free_time : state -> float
+
+val memory_in_use : state -> float
+(** Memory currently held, {e before} processing any pending release. *)
+
+val advance_to_next_release : state -> bool
+(** Move the link availability to the next memory-release instant (used by
+    dynamic heuristics when no pending task fits). Returns [false] when
+    there is no pending release. *)
+
+val fits_now : state -> capacity:float -> float -> bool
+(** [fits_now st ~capacity m]: would a task of memory requirement [m] fit
+    if its communication started right when the link becomes free?
+    Processes releases up to that instant as a side effect. *)
+
+val schedule_task : state -> capacity:float -> Task.t -> Schedule.entry
+(** Start the task's communication at the earliest fitting instant, then
+    its computation. Updates the state. Raises [Invalid_argument] when the
+    task alone exceeds the capacity. *)
+
+val run_order : ?state:state -> capacity:float -> Task.t list -> (Schedule.t, Task.t) result
+(** Execute the tasks in the given order (same order on both resources —
+    a permutation schedule). [Error t] when task [t] exceeds the capacity
+    by itself. *)
+
+val run_order_exn : ?state:state -> capacity:float -> Task.t list -> Schedule.t
+
+type dual_error =
+  | Too_big of Task.t   (** a task alone exceeds the capacity *)
+  | Deadlock of Task.t  (** the orders block each other through memory:
+                            this communication can never acquire its
+                            memory (Proposition 1 territory) *)
+
+val run_two_orders :
+  ?state:state ->
+  capacity:float ->
+  comm_order:Task.t list ->
+  Task.t list ->
+  (Schedule.t, dual_error) result
+(** [run_two_orders ~capacity ~comm_order comp_order] executes with
+    distinct link and processor orders ([comp_order] must be a permutation
+    of [comm_order]). Used by the exact solver and by the MILP decoder,
+    where the two orders may legitimately differ. *)

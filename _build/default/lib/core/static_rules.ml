@@ -1,0 +1,37 @@
+type rule =
+  | OOSIM
+  | IOCMS
+  | DOCPS
+  | IOCCS
+  | DOCCS
+  | OS
+
+let all = [ OOSIM; IOCMS; DOCPS; IOCCS; DOCCS; OS ]
+
+let name = function
+  | OOSIM -> "OOSIM"
+  | IOCMS -> "IOCMS"
+  | DOCPS -> "DOCPS"
+  | IOCCS -> "IOCCS"
+  | DOCCS -> "DOCCS"
+  | OS -> "OS"
+
+let sort_by key tasks =
+  let cmp a b =
+    let c = Float.compare (key a) (key b) in
+    if c <> 0 then c else Task.compare_id a b
+  in
+  List.sort cmp tasks
+
+let order rule tasks =
+  match rule with
+  | OOSIM -> Johnson.order tasks
+  | IOCMS -> sort_by (fun t -> t.Task.comm) tasks
+  | DOCPS -> sort_by (fun t -> -.t.Task.comp) tasks
+  | IOCCS -> sort_by (fun t -> t.Task.comm +. t.Task.comp) tasks
+  | DOCCS -> sort_by (fun t -> -.(t.Task.comm +. t.Task.comp)) tasks
+  | OS -> List.sort Task.compare_id tasks
+
+let run ?state rule instance =
+  let tasks = order rule (Instance.task_list instance) in
+  Sim.run_order_exn ?state ~capacity:instance.Instance.capacity tasks

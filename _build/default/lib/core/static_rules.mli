@@ -1,0 +1,21 @@
+(** Static-order heuristics (Section 4.1): the processing order is fixed in
+    advance from the task characteristics and followed on both resources,
+    respecting the memory constraint at every point. *)
+
+type rule =
+  | OOSIM  (** order of the optimal strategy for infinite memory (Johnson) *)
+  | IOCMS  (** nondecreasing communication time *)
+  | DOCPS  (** nonincreasing computation time *)
+  | IOCCS  (** nondecreasing communication + computation *)
+  | DOCCS  (** nonincreasing communication + computation *)
+  | OS     (** order of submission (the arbitrary input order) *)
+
+val all : rule list
+val name : rule -> string
+
+val order : rule -> Task.t list -> Task.t list
+(** The precomputed sequence (ties broken by task id). *)
+
+val run : ?state:Sim.state -> rule -> Instance.t -> Schedule.t
+(** Execute the sequence under the instance's memory capacity.
+    Raises [Invalid_argument] if a task alone exceeds the capacity. *)

@@ -1,0 +1,31 @@
+type t = {
+  id : int;
+  label : string;
+  comm : float;
+  comp : float;
+  mem : float;
+}
+
+let make ?label ?mem ~id ~comm ~comp () =
+  let mem = match mem with Some m -> m | None -> comm in
+  let label = match label with Some l -> l | None -> Printf.sprintf "t%d" id in
+  if comm < 0.0 || comp < 0.0 || mem < 0.0 then
+    invalid_arg "Task.make: negative duration or memory";
+  if Float.is_nan comm || Float.is_nan comp || Float.is_nan mem then
+    invalid_arg "Task.make: NaN field";
+  { id; label; comm; comp; mem }
+
+let with_id t id = { t with id }
+
+let is_compute_intensive t = t.comp >= t.comm
+
+let acceleration t = if t.comm = 0.0 then Float.infinity else t.comp /. t.comm
+
+let equal a b =
+  a.id = b.id && a.comm = b.comm && a.comp = b.comp && a.mem = b.mem
+  && String.equal a.label b.label
+
+let compare_id a b = Int.compare a.id b.id
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%s(id=%d cm=%g cp=%g mc=%g)@]" t.label t.id t.comm t.comp t.mem

@@ -1,0 +1,34 @@
+(** Tasks of the data-transfer problem (problem DT, Section 3 of the paper).
+
+    A task must transfer its input data (communication time [comm]) over the
+    single link before computing (time [comp]) on the processing unit. It
+    occupies [mem] bytes of the target memory from the start of its
+    communication to the end of its computation. *)
+
+type t = private {
+  id : int;          (** unique within an instance; also the submission rank *)
+  label : string;    (** human-readable name, e.g. ["contract t2(3,7)"] *)
+  comm : float;      (** communication (input transfer) time, >= 0 *)
+  comp : float;      (** computation time, >= 0 *)
+  mem : float;       (** memory requirement, >= 0 *)
+}
+
+val make : ?label:string -> ?mem:float -> id:int -> comm:float -> comp:float -> unit -> t
+(** [make ~id ~comm ~comp ()] builds a task. [mem] defaults to [comm],
+    the paper's simplifying convention (memory proportional to
+    communication time, Section 3). Raises [Invalid_argument] on negative
+    durations or memory. *)
+
+val with_id : t -> int -> t
+(** Same task under a different id (used when renumbering batches). *)
+
+val is_compute_intensive : t -> bool
+(** [comp >= comm], the paper's definition. *)
+
+val acceleration : t -> float
+(** Ratio [comp /. comm]; [infinity] when [comm = 0.]. Used by the
+    MAMR/OOMAMR selection criteria. *)
+
+val equal : t -> t -> bool
+val compare_id : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ga/cluster.ml:

@@ -1,0 +1,1 @@
+lib/ga/garray.ml: Array Dt_tensor Fun List

@@ -1,0 +1,1 @@
+lib/ga/garray.mli: Dt_tensor

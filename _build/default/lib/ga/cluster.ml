@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  nodes : int;
+  cores_per_node : int;
+  service_cores_per_node : int;
+  flop_rate : float;
+  bandwidth : float;
+  latency : float;
+}
+
+let make ?(name = "custom") ?(service_cores_per_node = 0) ?(latency = 2e-6) ~nodes
+    ~cores_per_node ~flop_rate ~bandwidth () =
+  if nodes <= 0 || cores_per_node <= 0 then
+    invalid_arg "Cluster.make: nonpositive node or core count";
+  if service_cores_per_node < 0 || service_cores_per_node >= cores_per_node then
+    invalid_arg "Cluster.make: service cores must leave at least one worker";
+  if flop_rate <= 0.0 || bandwidth <= 0.0 || latency < 0.0 then
+    invalid_arg "Cluster.make: nonpositive rate";
+  { name; nodes; cores_per_node; service_cores_per_node; flop_rate; bandwidth; latency }
+
+let cascade =
+  make ~name:"cascade" ~service_cores_per_node:1 ~nodes:10 ~cores_per_node:16
+    ~flop_rate:8e9 ~bandwidth:2e9 ()
+
+let gpu_node =
+  make ~name:"gpu-node" ~nodes:1 ~cores_per_node:1 ~flop_rate:5e12 ~bandwidth:12e9
+    ~latency:8e-6 ()
+
+let processes t = t.nodes * (t.cores_per_node - t.service_cores_per_node)
+
+let comm_time t ~bytes =
+  if bytes <= 0.0 then 0.0 else t.latency +. (bytes /. t.bandwidth)
+
+let comp_time t ~flops = if flops <= 0.0 then 0.0 else flops /. t.flop_rate

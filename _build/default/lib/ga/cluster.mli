@@ -1,0 +1,47 @@
+(** Machine model: converts the bytes and flops of a task into the
+    communication and computation times of problem DT.
+
+    The paper ran on PNNL's Cascade (10 nodes x 16 Xeon E5-2670 cores,
+    one core per node dedicated to Global Arrays progress, hence 150
+    worker processes); we replace the hardware with this analytic model,
+    which is all the scheduling heuristics ever observe. *)
+
+type t = {
+  name : string;
+  nodes : int;
+  cores_per_node : int;
+  service_cores_per_node : int;  (** cores GA dedicates to communication *)
+  flop_rate : float;             (** effective flop/s per worker core *)
+  bandwidth : float;             (** bytes/s between a process and GA memory *)
+  latency : float;               (** per-transfer startup time, seconds *)
+}
+
+val make :
+  ?name:string ->
+  ?service_cores_per_node:int ->
+  ?latency:float ->
+  nodes:int ->
+  cores_per_node:int ->
+  flop_rate:float ->
+  bandwidth:float ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on nonpositive node/core counts or rates,
+    or when the service cores exhaust a node. *)
+
+val cascade : t
+(** The paper's testbed: 10 nodes x 16 cores (15 workers each),
+    ~8 Gflop/s effective per core, ~2 GB/s per process to GA memory. *)
+
+val gpu_node : t
+(** A single CPU+GPU node with one copy engine (the CPU-GPU scenario of
+    the paper's conclusion): 1 "node", 1 worker, PCIe-like 12 GB/s and a
+    GPU-like 5 Tflop/s. *)
+
+val processes : t -> int
+(** Worker processes: [nodes * (cores_per_node - service_cores_per_node)]. *)
+
+val comm_time : t -> bytes:float -> float
+(** [latency + bytes / bandwidth]; [0.] for zero bytes (local data). *)
+
+val comp_time : t -> flops:float -> float

@@ -1,0 +1,61 @@
+type policy =
+  | Round_robin
+  | Blocked
+
+type t = {
+  nprocs : int;
+  tilings : Dt_tensor.Tile.range list array;
+  grid : Dt_tensor.Tile.range array array;  (** row-major tile list *)
+  owners : int array;
+}
+
+let create ?(policy = Round_robin) ~nprocs ~tilings () =
+  if nprocs <= 0 then invalid_arg "Garray.create: nprocs must be positive";
+  Array.iter (fun t -> if t = [] then invalid_arg "Garray.create: empty tiling") tilings;
+  let grid = Array.of_list (Dt_tensor.Tile.grid (Array.to_list tilings)) in
+  let n = Array.length grid in
+  let owners =
+    match policy with
+    | Round_robin -> Array.init n (fun i -> i mod nprocs)
+    | Blocked ->
+        let per = (n + nprocs - 1) / nprocs in
+        Array.init n (fun i -> min (nprocs - 1) (i / per))
+  in
+  { nprocs; tilings; grid; owners }
+
+let nprocs t = t.nprocs
+let rank t = Array.length t.tilings
+
+let dims t = Array.map Dt_tensor.Tile.total t.tilings
+
+let ntiles t = Array.length t.grid
+
+let tile t i =
+  if i < 0 || i >= Array.length t.grid then invalid_arg "Garray.tile: out of range";
+  t.grid.(i)
+
+let tile_bytes t i = Dt_tensor.Tile.tile_bytes (tile t i)
+
+let owner t i =
+  if i < 0 || i >= Array.length t.owners then invalid_arg "Garray.owner: out of range";
+  t.owners.(i)
+
+let is_local t ~proc i = owner t i = proc
+
+let local_tiles t ~proc =
+  List.filter (fun i -> t.owners.(i) = proc) (List.init (ntiles t) Fun.id)
+
+let fetch_bytes t ~proc tiles =
+  List.fold_left
+    (fun acc i -> if is_local t ~proc i then acc else acc +. float_of_int (tile_bytes t i))
+    0.0 tiles
+
+let remote_fraction t ~proc =
+  let total = ref 0.0 and remote = ref 0.0 in
+  Array.iteri
+    (fun i _ ->
+      let b = float_of_int (tile_bytes t i) in
+      total := !total +. b;
+      if not (is_local t ~proc i) then remote := !remote +. b)
+    t.grid;
+  if !total > 0.0 then !remote /. !total else 0.0

@@ -1,0 +1,46 @@
+(** A simulated Global Array: a tiled multi-dimensional array whose tiles
+    are distributed over the processes of a cluster (the PGAS model of
+    Nieplocha et al. that NWChem builds on). A process fetching a tile it
+    does not own pays a transfer; fetching a local tile is free. *)
+
+type policy =
+  | Round_robin  (** tile [i] lives on process [i mod P] *)
+  | Blocked      (** contiguous runs of tiles per process *)
+
+type t
+
+val create :
+  ?policy:policy ->
+  nprocs:int ->
+  tilings:Dt_tensor.Tile.range list array ->
+  unit ->
+  t
+(** [tilings.(d)] is the tiling of dimension [d]. Raises
+    [Invalid_argument] when [nprocs <= 0] or a tiling is empty. *)
+
+val nprocs : t -> int
+val rank : t -> int
+val dims : t -> int array
+(** Total extent per dimension. *)
+
+val ntiles : t -> int
+(** Number of grid tiles (product over dimensions of tile counts). *)
+
+val tile : t -> int -> Dt_tensor.Tile.range array
+(** The [i]-th grid tile, row-major over the per-dimension tilings.
+    Raises [Invalid_argument] out of range. *)
+
+val tile_bytes : t -> int -> int
+val owner : t -> int -> int
+val is_local : t -> proc:int -> int -> bool
+
+val local_tiles : t -> proc:int -> int list
+
+val fetch_bytes : t -> proc:int -> int list -> float
+(** Total bytes process [proc] must transfer to obtain the given tiles
+    (local tiles contribute nothing). *)
+
+val remote_fraction : t -> proc:int -> float
+(** Fraction of this array's bytes that are remote to [proc]; in a
+    balanced distribution over [P] processes this approaches
+    [1 - 1/P]. *)

@@ -1,0 +1,85 @@
+type t = {
+  relaxation : Simplex.problem;
+  integer_vars : int list;
+}
+
+type status =
+  | Optimal
+  | Node_limit
+  | Infeasible
+
+type outcome = {
+  status : status;
+  best : Simplex.solution option;
+  nodes_explored : int;
+}
+
+let integrality_eps = 1e-6
+
+let most_fractional integer_vars (sol : Simplex.solution) =
+  let best = ref None in
+  List.iter
+    (fun j ->
+      let v = sol.values.(j) in
+      let frac = Float.abs (v -. Float.round v) in
+      if frac > integrality_eps then
+        match !best with
+        | Some (_, f) when f >= frac -> ()
+        | Some _ | None -> best := Some (j, frac))
+    integer_vars;
+  !best
+
+let solve ?(node_limit = max_int) ?upper_bound t =
+  let incumbent = ref None in
+  let incumbent_obj =
+    ref (match upper_bound with Some u -> u | None -> Float.infinity)
+  in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  (* Each open node carries the extra bound constraints accumulated along
+     its branch. Depth-first: good incumbents appear early and keep the
+     stack shallow. *)
+  let stack = ref [ [] ] in
+  let base = t.relaxation in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | extra :: rest ->
+        stack := rest;
+        if !nodes >= node_limit then truncated := true
+        else begin
+          incr nodes;
+          let problem = { base with Simplex.constraints = extra @ base.Simplex.constraints } in
+          match Simplex.solve problem with
+          | Simplex.Infeasible -> ()
+          | Simplex.Unbounded ->
+              invalid_arg "Milp.solve: unbounded relaxation (add explicit bounds)"
+          | Simplex.Optimal sol ->
+              if sol.Simplex.objective_value < !incumbent_obj -. 1e-9 then begin
+                match most_fractional t.integer_vars sol with
+                | None ->
+                    incumbent := Some sol;
+                    incumbent_obj := sol.Simplex.objective_value
+                | Some (j, _) ->
+                    let v = sol.Simplex.values.(j) in
+                    let down =
+                      { Simplex.coeffs = [ (j, 1.0) ]; cmp = Simplex.Le; rhs = Float.of_int (int_of_float (floor v)) }
+                    and up =
+                      { Simplex.coeffs = [ (j, 1.0) ]; cmp = Simplex.Ge; rhs = Float.of_int (int_of_float (ceil v)) }
+                    in
+                    (* Explore the rounding closer to the relaxation first. *)
+                    if v -. floor v <= 0.5 then
+                      stack := (down :: extra) :: (up :: extra) :: !stack
+                    else stack := (up :: extra) :: (down :: extra) :: !stack
+              end
+        end
+  done;
+  let status =
+    if !truncated then Node_limit
+    else if !incumbent = None && upper_bound = None then Infeasible
+    else Optimal
+  in
+  (* With an external upper bound and no incumbent found we cannot
+     distinguish "infeasible" from "nothing better than the bound"; report
+     Optimal with [best = None], meaning the caller's incumbent stands. *)
+  { status; best = !incumbent; nodes_explored = !nodes }

@@ -1,0 +1,26 @@
+(** Mixed-integer linear programming by branch and bound on the simplex
+    relaxation. Depth-first search, branching on the most fractional
+    integer variable, with an optional node limit and an optional initial
+    upper bound (incumbent objective) supplied by a heuristic. *)
+
+type t = {
+  relaxation : Simplex.problem;
+  integer_vars : int list;  (** variables constrained to integral values *)
+}
+
+type status =
+  | Optimal     (** search completed; [best] is the exact optimum *)
+  | Node_limit  (** stopped early; [best] is the incumbent, if any *)
+  | Infeasible
+
+type outcome = {
+  status : status;
+  best : Simplex.solution option;
+  nodes_explored : int;
+}
+
+val solve : ?node_limit:int -> ?upper_bound:float -> t -> outcome
+(** [upper_bound] prunes nodes whose relaxation is no better; it is
+    treated as the objective of an incumbent held by the caller (so a
+    node is pruned when its bound is [>= upper_bound -. 1e-9]).
+    Default [node_limit] is [max_int]. *)

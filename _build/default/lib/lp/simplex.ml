@@ -1,0 +1,218 @@
+type cmp = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;
+  cmp : cmp;
+  rhs : float;
+}
+
+type problem = {
+  num_vars : int;
+  objective : (int * float) list;
+  constraints : constr list;
+}
+
+type solution = {
+  objective_value : float;
+  values : float array;
+}
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Dense tableau: [rows] is an m x (width + 1) matrix whose last column is
+   the right-hand side; [basis.(r)] is the column basic in row [r]; [obj]
+   is the reduced-cost row (its last entry is minus the current objective
+   value). *)
+type tableau = {
+  rows : float array array;
+  basis : int array;
+  obj : float array;
+  width : int; (* number of structural columns (original + slack + artificial) *)
+}
+
+let pivot t r c =
+  let piv = t.rows.(r).(c) in
+  let row = t.rows.(r) in
+  if Float.abs piv < eps then invalid_arg "Simplex.pivot: tiny pivot";
+  for j = 0 to t.width do
+    row.(j) <- row.(j) /. piv
+  done;
+  let eliminate target =
+    let f = target.(c) in
+    if Float.abs f > 0.0 then
+      for j = 0 to t.width do
+        target.(j) <- target.(j) -. (f *. row.(j))
+      done
+  in
+  Array.iteri (fun i other -> if i <> r then eliminate other) t.rows;
+  eliminate t.obj;
+  t.basis.(r) <- c
+
+(* Bland's rule: entering = smallest-index column with negative reduced
+   cost; leaving = min-ratio row, ties by smallest basic index. [allowed]
+   filters columns that may enter (artificials are barred in phase 2). *)
+let iterate t ~allowed =
+  let m = Array.length t.rows in
+  let rec loop steps =
+    if steps > 200_000 then invalid_arg "Simplex.iterate: iteration limit";
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.width - 1 do
+         if allowed j && t.obj.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let c = !entering in
+      let leaving = ref (-1) and best_ratio = ref Float.infinity in
+      for r = 0 to m - 1 do
+        let coef = t.rows.(r).(c) in
+        if coef > eps then begin
+          let ratio = t.rows.(r).(t.width) /. coef in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps && (!leaving < 0 || t.basis.(r) < t.basis.(!leaving)))
+          then begin
+            best_ratio := ratio;
+            leaving := r
+          end
+        end
+      done;
+      if !leaving < 0 then `Unbounded
+      else begin
+        pivot t !leaving c;
+        loop (steps + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve problem =
+  let n = problem.num_vars in
+  List.iter
+    (fun cstr ->
+      List.iter
+        (fun (j, _) ->
+          if j < 0 || j >= n then invalid_arg "Simplex.solve: variable index out of range")
+        cstr.coeffs)
+    problem.constraints;
+  let constraints = Array.of_list problem.constraints in
+  let m = Array.length constraints in
+  (* Normalise to nonnegative right-hand sides. *)
+  let normalised =
+    Array.map
+      (fun cstr ->
+        if cstr.rhs < 0.0 then
+          {
+            coeffs = List.map (fun (j, v) -> (j, -.v)) cstr.coeffs;
+            cmp = (match cstr.cmp with Le -> Ge | Ge -> Le | Eq -> Eq);
+            rhs = -.cstr.rhs;
+          }
+        else cstr)
+      constraints
+  in
+  let num_slack =
+    Array.fold_left
+      (fun acc c -> match c.cmp with Le | Ge -> acc + 1 | Eq -> acc)
+      0 normalised
+  in
+  let num_art =
+    Array.fold_left
+      (fun acc c -> match c.cmp with Ge | Eq -> acc + 1 | Le -> acc)
+      0 normalised
+  in
+  let width = n + num_slack + num_art in
+  let art_start = n + num_slack in
+  let rows = Array.init m (fun _ -> Array.make (width + 1) 0.0) in
+  let basis = Array.make m (-1) in
+  let next_slack = ref n and next_art = ref art_start in
+  Array.iteri
+    (fun r cstr ->
+      let row = rows.(r) in
+      List.iter (fun (j, v) -> row.(j) <- row.(j) +. v) cstr.coeffs;
+      row.(width) <- cstr.rhs;
+      (match cstr.cmp with
+      | Le ->
+          row.(!next_slack) <- 1.0;
+          basis.(r) <- !next_slack;
+          incr next_slack
+      | Ge ->
+          row.(!next_slack) <- -1.0;
+          incr next_slack;
+          row.(!next_art) <- 1.0;
+          basis.(r) <- !next_art;
+          incr next_art
+      | Eq ->
+          row.(!next_art) <- 1.0;
+          basis.(r) <- !next_art;
+          incr next_art))
+    normalised;
+  let t = { rows; basis; obj = Array.make (width + 1) 0.0; width } in
+  (* Phase 1: minimise the sum of artificials. The reduced-cost row is the
+     phase-1 cost vector minus the rows of the (artificial) basis. *)
+  if num_art > 0 then begin
+    for j = art_start to width - 1 do
+      t.obj.(j) <- 1.0
+    done;
+    Array.iteri
+      (fun r b ->
+        if b >= art_start then
+          for j = 0 to t.width do
+            t.obj.(j) <- t.obj.(j) -. t.rows.(r).(j)
+          done)
+      t.basis;
+    match iterate t ~allowed:(fun _ -> true) with
+    | `Unbounded -> invalid_arg "Simplex.solve: phase 1 unbounded (impossible)"
+    | `Optimal ->
+        if -.t.obj.(width) > 1e-7 then raise Exit
+  end;
+  (* Pivot basic artificials out (or accept them at value zero when their
+     row has no structural coefficient left). *)
+  Array.iteri
+    (fun r b ->
+      if b >= art_start then begin
+        let c = ref (-1) in
+        (try
+           for j = 0 to art_start - 1 do
+             if Float.abs t.rows.(r).(j) > 1e-7 then begin
+               c := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !c >= 0 then pivot t r !c
+      end)
+    t.basis;
+  (* Phase 2 objective. *)
+  Array.fill t.obj 0 (width + 1) 0.0;
+  List.iter (fun (j, v) -> t.obj.(j) <- t.obj.(j) +. v) problem.objective;
+  Array.iteri
+    (fun r b ->
+      let cb = t.obj.(b) in
+      if Float.abs cb > 0.0 then
+        for j = 0 to t.width do
+          t.obj.(j) <- t.obj.(j) -. (cb *. t.rows.(r).(j))
+        done)
+    t.basis;
+  let allowed j = j < art_start in
+  match iterate t ~allowed with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let values = Array.make n 0.0 in
+      Array.iteri
+        (fun r b -> if b < n then values.(b) <- t.rows.(r).(t.width))
+        t.basis;
+      let objective_value =
+        List.fold_left (fun acc (j, v) -> acc +. (v *. values.(j))) 0.0 problem.objective
+      in
+      Optimal { objective_value; values }
+
+let solve problem = try solve problem with Exit -> Infeasible

@@ -1,0 +1,35 @@
+(** A dense two-phase primal simplex solver.
+
+    Solves [minimize c.x subject to A x (<=|=|>=) b, x >= 0] with Bland's
+    anti-cycling rule. Built from scratch because the paper's GLPK is not
+    available in this environment; the MILP instances of the lp.k heuristic
+    are small (at most ~100 variables), well within reach of a dense
+    tableau. *)
+
+type cmp = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse row: (variable index, coefficient) *)
+  cmp : cmp;
+  rhs : float;
+}
+
+type problem = {
+  num_vars : int;
+  objective : (int * float) list;  (** sparse cost vector, minimised *)
+  constraints : constr list;
+}
+
+type solution = {
+  objective_value : float;
+  values : float array;  (** length [num_vars] *)
+}
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> result
+(** All variables are nonnegative. Duplicate indices in a sparse row are
+    summed. Raises [Invalid_argument] on out-of-range variable indices. *)

@@ -1,0 +1,1 @@
+lib/report/boxplot.ml: Bytes Descriptive Dt_stats Float List Printf String

@@ -1,0 +1,1 @@
+lib/report/boxplot.mli: Dt_stats

@@ -1,0 +1,1 @@
+lib/report/gantt.ml: Bytes Char Dt_core Float List Printf Schedule String Task

@@ -1,0 +1,1 @@
+lib/report/svg.ml: Array Buffer Dt_core Float Fun List Printf Schedule String Task

@@ -1,0 +1,44 @@
+open Dt_stats
+
+let row ?(width = 60) ~lo ~hi (b : Descriptive.boxplot) =
+  let span = if hi > lo then hi -. lo else 1.0 in
+  let cell v =
+    let c = int_of_float ((v -. lo) /. span *. float_of_int (width - 1)) in
+    if c < 0 then 0 else if c > width - 1 then width - 1 else c
+  in
+  let buf = Bytes.make width ' ' in
+  let hset i c = Bytes.set buf i c in
+  for i = cell b.Descriptive.whisker_low to cell b.Descriptive.whisker_high do
+    hset i '-'
+  done;
+  for i = cell b.Descriptive.q1 to cell b.Descriptive.q3 do
+    hset i '='
+  done;
+  List.iter (fun v -> hset (cell v) 'o') b.Descriptive.outliers;
+  hset (cell b.Descriptive.median) 'M';
+  Bytes.to_string buf
+
+let chart ?(width = 60) ~rows () =
+  match rows with
+  | [] -> "(no data)\n"
+  | _ ->
+      let lo =
+        List.fold_left (fun acc (_, b) -> Float.min acc b.Descriptive.minimum) Float.infinity rows
+      and hi =
+        List.fold_left
+          (fun acc (_, b) -> Float.max acc b.Descriptive.maximum)
+          Float.neg_infinity rows
+      in
+      let label_w =
+        List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+      in
+      let line (label, b) =
+        Printf.sprintf "%-*s |%s| med=%.3f" label_w label (row ~width ~lo ~hi b)
+          b.Descriptive.median
+      in
+      let axis =
+        Printf.sprintf "%-*s  %-*.3f%*.3f" label_w "" (width / 2) lo (width - (width / 2)) hi
+      in
+      String.concat "\n" (List.map line rows @ [ axis; "" ])
+
+let print ?width ~rows () = print_string (chart ?width ~rows ())

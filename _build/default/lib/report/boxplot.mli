@@ -1,0 +1,17 @@
+(** ASCII rendering of boxplot distributions: the textual counterpart of
+    the paper's Figures 9-13 (one labelled boxplot row per heuristic and
+    memory capacity). *)
+
+val row : ?width:int -> lo:float -> hi:float -> Dt_stats.Descriptive.boxplot -> string
+(** A single box rendered on the value range [lo, hi]:
+    whiskers [---], box [===], median [M], outliers [o]. *)
+
+val chart :
+  ?width:int ->
+  rows:(string * Dt_stats.Descriptive.boxplot) list ->
+  unit ->
+  string
+(** Aligned labelled rows on a shared scale (computed from the data),
+    with an axis line showing the bounds. *)
+
+val print : ?width:int -> rows:(string * Dt_stats.Descriptive.boxplot) list -> unit -> unit

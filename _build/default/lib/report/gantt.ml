@@ -1,0 +1,47 @@
+open Dt_core
+
+let glyph (t : Task.t) =
+  if String.length t.Task.label > 0 && t.Task.label.[0] <> 't' then t.Task.label.[0]
+  else Char.chr (Char.code 'a' + (t.Task.id mod 26))
+
+let render ?(width = 72) sched =
+  let entries = Schedule.entries sched in
+  let mk = Schedule.makespan sched in
+  if mk <= 0.0 || entries = [] then "(empty schedule)\n"
+  else begin
+    let scale t = int_of_float (t /. mk *. float_of_int (width - 1)) in
+    let comm = Bytes.make width '.' and comp = Bytes.make width '.' in
+    let paint lane s e g =
+      let s = scale s and e = max (scale s) (scale e - 1) in
+      for i = s to min e (width - 1) do
+        Bytes.set lane i g
+      done
+    in
+    List.iter
+      (fun e ->
+        let g = glyph e.Schedule.task in
+        if e.Schedule.task.Task.comm > 0.0 then
+          paint comm e.Schedule.s_comm (Schedule.comm_end e) g;
+        if e.Schedule.task.Task.comp > 0.0 then
+          paint comp e.Schedule.s_comp (Schedule.comp_end e) g)
+      entries;
+    (* memory profile sampled at cell boundaries, rendered on a 4-level scale *)
+    let peak = Float.max (Schedule.peak_memory sched) 1e-9 in
+    let mem = Bytes.make width ' ' in
+    for i = 0 to width - 1 do
+      let t = float_of_int i /. float_of_int (width - 1) *. mk in
+      let u = Schedule.memory_at sched t /. peak in
+      let c =
+        if u <= 0.0 then ' '
+        else if u < 0.34 then '.'
+        else if u < 0.67 then ':'
+        else if u < 0.999 then '|'
+        else '#'
+      in
+      Bytes.set mem i c
+    done;
+    Printf.sprintf "comm |%s|\ncomp |%s|\nmem  |%s| peak=%g\n       makespan=%g\n"
+      (Bytes.to_string comm) (Bytes.to_string comp) (Bytes.to_string mem) peak mk
+  end
+
+let print ?width sched = print_string (render ?width sched)

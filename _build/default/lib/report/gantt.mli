@@ -1,0 +1,10 @@
+(** ASCII Gantt charts of schedules: one lane for the communication link,
+    one for the processing unit, plus a memory-occupancy profile — the
+    textual equivalent of the paper's Figures 3-6. *)
+
+val render : ?width:int -> Dt_core.Schedule.t -> string
+(** [width] is the number of character cells the makespan is scaled to
+    (default 72). Each task is drawn with a letter derived from its
+    label's first character (or its id). *)
+
+val print : ?width:int -> Dt_core.Schedule.t -> unit

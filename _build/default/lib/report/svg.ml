@@ -1,0 +1,119 @@
+open Dt_core
+
+(* A stable, readable colour per task id. *)
+let color id =
+  let palette =
+    [|
+      "#4e79a7"; "#f28e2b"; "#e15759"; "#76b7b2"; "#59a14f"; "#edc948";
+      "#b07aa1"; "#ff9da7"; "#9c755f"; "#bab0ac";
+    |]
+  in
+  palette.(id mod Array.length palette)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(width = 900) ?capacity sched =
+  let makespan = Float.max (Schedule.makespan sched) 1e-12 in
+  let margin = 60.0 and lane_h = 42.0 and mem_h = 90.0 and gap = 14.0 in
+  let w = float_of_int width in
+  let plot_w = w -. (2.0 *. margin) in
+  let x t = margin +. (t /. makespan *. plot_w) in
+  let total_h = margin +. (2.0 *. (lane_h +. gap)) +. mem_h +. margin in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%.0f\" \
+     viewBox=\"0 0 %d %.0f\" font-family=\"sans-serif\" font-size=\"11\">\n"
+    width total_h width total_h;
+  addf "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n";
+  let lane_y i = margin +. (float_of_int i *. (lane_h +. gap)) in
+  let lane_label i name = addf "<text x=\"8\" y=\"%.1f\">%s</text>\n" (lane_y i +. (lane_h /. 2.0)) name in
+  lane_label 0 "link";
+  lane_label 1 "cpu";
+  let box ~lane ~t0 ~t1 ~id ~label =
+    if t1 > t0 then begin
+      let bx = x t0 and bw = Float.max 1.0 (x t1 -. x t0) in
+      addf
+        "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" height=\"%.1f\" fill=\"%s\" \
+         stroke=\"#333\" stroke-width=\"0.5\"><title>%s [%g, %g)</title></rect>\n"
+        bx (lane_y lane) bw lane_h (color id) (escape label) t0 t1;
+      if bw > 24.0 then
+        addf
+          "<text x=\"%.2f\" y=\"%.1f\" text-anchor=\"middle\" fill=\"white\">%s</text>\n"
+          (bx +. (bw /. 2.0))
+          (lane_y lane +. (lane_h /. 2.0) +. 4.0)
+          (escape label)
+    end
+  in
+  List.iter
+    (fun e ->
+      let t = e.Schedule.task in
+      box ~lane:0 ~t0:e.Schedule.s_comm ~t1:(Schedule.comm_end e) ~id:t.Task.id
+        ~label:t.Task.label;
+      box ~lane:1 ~t0:e.Schedule.s_comp ~t1:(Schedule.comp_end e) ~id:t.Task.id
+        ~label:t.Task.label)
+    (Schedule.entries sched);
+  (* memory profile as a step polyline *)
+  let mem_y = lane_y 2 in
+  let cap =
+    match capacity with
+    | Some c -> c
+    | None -> if Float.is_finite sched.Schedule.capacity then sched.Schedule.capacity else 0.0
+  in
+  let peak = Float.max (Schedule.peak_memory sched) 1e-12 in
+  let top = Float.max peak cap in
+  let ym v = mem_y +. mem_h -. (v /. top *. mem_h) in
+  let events =
+    List.concat_map
+      (fun e -> [ e.Schedule.s_comm; Schedule.comp_end e ])
+      (Schedule.entries sched)
+    |> List.sort_uniq Float.compare
+  in
+  let points =
+    List.concat_map
+      (fun t ->
+        let before = Schedule.memory_at sched (t -. 1e-12)
+        and after = Schedule.memory_at sched t in
+        [ (t, before); (t, after) ])
+      events
+  in
+  let path =
+    String.concat " "
+      (List.map (fun (t, v) -> Printf.sprintf "%.2f,%.2f" (x t) (ym v)) ((0.0, 0.0) :: points))
+  in
+  addf "<text x=\"8\" y=\"%.1f\">memory</text>\n" (mem_y +. (mem_h /. 2.0));
+  addf "<polyline points=\"%s\" fill=\"none\" stroke=\"#e15759\" stroke-width=\"1.5\"/>\n" path;
+  if cap > 0.0 then
+    addf
+      "<line x1=\"%.1f\" y1=\"%.2f\" x2=\"%.1f\" y2=\"%.2f\" stroke=\"#333\" \
+       stroke-dasharray=\"6 3\"/><text x=\"%.1f\" y=\"%.2f\">C=%g</text>\n"
+      margin (ym cap) (w -. margin) (ym cap) (w -. margin +. 4.0) (ym cap) cap;
+  (* time axis *)
+  let axis_y = mem_y +. mem_h +. 18.0 in
+  addf
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#333\"/>\n" margin
+    (axis_y -. 8.0) (w -. margin) (axis_y -. 8.0);
+  List.iter
+    (fun f ->
+      let t = f *. makespan in
+      addf "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%.3g</text>\n" (x t) axis_y t)
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  addf "</svg>\n";
+  Buffer.contents buf
+
+let save ~path ?width ?capacity sched =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?width ?capacity sched))

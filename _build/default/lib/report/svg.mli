@@ -1,0 +1,12 @@
+(** SVG rendering of schedules: the publication-style counterpart of the
+    ASCII {!Gantt} — two resource lanes (link and processing unit), one
+    coloured box per task occurrence, and the memory-occupancy profile
+    with the capacity line. *)
+
+val render : ?width:int -> ?capacity:float -> Dt_core.Schedule.t -> string
+(** A complete standalone SVG document. [width] is the drawing width in
+    pixels (default 900); [capacity] draws the memory limit (defaults to
+    the schedule's recorded capacity when finite). *)
+
+val save : path:string -> ?width:int -> ?capacity:float -> Dt_core.Schedule.t -> unit
+(** Write {!render} to a file. *)

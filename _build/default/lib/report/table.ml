@@ -1,0 +1,43 @@
+type align = Left | Right
+
+let looks_numeric s = match float_of_string_opt (String.trim s) with Some _ -> true | None -> false
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg (Printf.sprintf "Table.render: row %d has %d cells, expected %d" i
+                       (List.length row) ncols))
+    rows;
+  let all = header :: rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let alignment =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Table.render: align length mismatch"
+    | None ->
+        Array.init ncols (fun i ->
+            let numeric =
+              List.for_all (fun row -> looks_numeric (List.nth row i)) rows && rows <> []
+            in
+            if numeric then Right else Left)
+  in
+  let pad i cell =
+    let n = widths.(i) - String.length cell in
+    match alignment.(i) with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" ((line header :: sep :: List.map line rows) @ [ "" ])
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let fmt_g v = Printf.sprintf "%.4g" v
+
+let fmt_ratio v = Printf.sprintf "%.3f" v

@@ -1,0 +1,17 @@
+(** Plain-text tables with aligned columns, used by the benches to print
+    each reproduced table/figure as rows. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** Pads every column to its widest cell ([Right] by default for cells
+    that parse as numbers when [align] is omitted). Raises
+    [Invalid_argument] when a row's width differs from the header's. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+val fmt_g : float -> string
+(** Compact float formatting ("%.4g"). *)
+
+val fmt_ratio : float -> string
+(** Ratio-to-optimal formatting ("%.3f"). *)

@@ -1,0 +1,82 @@
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile_sorted ys p =
+  let n = Array.length ys in
+  assert (n > 0 && p >= 0.0 && p <= 100.0);
+  if n = 1 then ys.(0)
+  else begin
+    let h = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let percentile xs p = percentile_sorted (sorted_copy xs) p
+
+let median xs = percentile xs 50.0
+
+type boxplot = {
+  minimum : float;
+  whisker_low : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  whisker_high : float;
+  maximum : float;
+  outliers : float list;
+  count : int;
+}
+
+let boxplot xs =
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  assert (n > 0);
+  let q1 = percentile_sorted ys 25.0
+  and med = percentile_sorted ys 50.0
+  and q3 = percentile_sorted ys 75.0 in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+  let whisker_low =
+    Array.fold_left (fun acc y -> if y >= lo_fence && y < acc then y else acc) ys.(n - 1) ys
+  and whisker_high =
+    Array.fold_left (fun acc y -> if y <= hi_fence && y > acc then y else acc) ys.(0) ys
+  in
+  let outliers =
+    Array.to_list (Array.of_seq (Seq.filter (fun y -> y < lo_fence || y > hi_fence) (Array.to_seq ys)))
+  in
+  {
+    minimum = ys.(0);
+    whisker_low;
+    q1;
+    median = med;
+    q3;
+    whisker_high;
+    maximum = ys.(n - 1);
+    outliers;
+    count = n;
+  }
+
+let histogram xs ~bins =
+  assert (bins > 0 && Array.length xs > 0);
+  let lo = Array.fold_left min xs.(0) xs and hi = Array.fold_left max xs.(0) xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  let bucket x =
+    let b = int_of_float ((x -. lo) /. width) in
+    if b >= bins then bins - 1 else if b < 0 then 0 else b
+  in
+  Array.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts

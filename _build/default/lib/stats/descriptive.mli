@@ -1,0 +1,40 @@
+(** Descriptive statistics and boxplot summaries.
+
+    Used by the experiment harness to summarise the distribution of the
+    ratio-to-optimal metric over the 150 per-process traces (Figures 9-13
+    of the paper). *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics (type-7, the convention of R/numpy and of standard
+    boxplots). The input need not be sorted. *)
+
+val median : float array -> float
+
+type boxplot = {
+  minimum : float;      (** smallest observation *)
+  whisker_low : float;  (** smallest observation >= q1 - 1.5 IQR *)
+  q1 : float;
+  median : float;
+  q3 : float;
+  whisker_high : float; (** largest observation <= q3 + 1.5 IQR *)
+  maximum : float;      (** largest observation *)
+  outliers : float list;(** observations beyond the whiskers *)
+  count : int;
+}
+(** Tukey box-and-whisker summary. The paper's plots show median, quartile
+    box, whiskers and outlier dots; both whisker conventions (min/max and
+    1.5 IQR) are recoverable from this record. *)
+
+val boxplot : float array -> boxplot
+(** Summary of a non-empty sample. *)
+
+val histogram : float array -> bins:int -> (float * int) array
+(** [histogram xs ~bins] returns [(left_edge, count)] pairs covering
+    [min xs, max xs]. Requires [bins > 0] and a non-empty sample. *)

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, reproducible generator (splitmix64). Every stochastic
+    component of the library threads an explicit [Rng.t] so that traces,
+    workloads and property tests are exactly reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]; the two
+    streams are (statistically) independent. Used to give each simulated
+    process its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate (Box-Muller). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp] of a normal deviate; models heavy-tailed task sizes. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Dt_stats Float Format Shape

@@ -1,0 +1,1 @@
+lib/tensor/tile.ml: Array Dense List Shape

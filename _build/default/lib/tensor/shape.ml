@@ -1,0 +1,58 @@
+type t = int array
+
+let of_array a =
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Shape: nonpositive dimension") a;
+  Array.copy a
+
+let of_list l = of_array (Array.of_list l)
+
+let dims t = Array.copy t
+
+let rank = Array.length
+
+let size t = Array.fold_left ( * ) 1 t
+
+let strides t =
+  let n = Array.length t in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * t.(i + 1)
+  done;
+  s
+
+let linear_index t idx =
+  if Array.length idx <> Array.length t then invalid_arg "Shape.linear_index: rank mismatch";
+  let s = strides t in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= t.(i) then invalid_arg "Shape.linear_index: index out of bounds";
+      acc := !acc + (v * s.(i)))
+    idx;
+  !acc
+
+let multi_index t lin =
+  let s = strides t in
+  Array.mapi (fun i _ -> lin / s.(i) mod t.(i)) t
+
+let equal a b = a = b
+
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    perm
+
+let permute t perm =
+  if Array.length perm <> Array.length t || not (is_permutation perm) then
+    invalid_arg "Shape.permute: not a permutation of the axes";
+  Array.map (fun p -> t.(p)) perm
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]" (String.concat "x" (Array.to_list (Array.map string_of_int t)))

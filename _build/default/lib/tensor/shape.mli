@@ -1,0 +1,31 @@
+(** Shapes of dense tensors: dimension lists, strides and the
+    row-major linearisation used throughout {!Dense}. *)
+
+type t = private int array
+(** Dimensions, all positive (a rank-0 tensor is the empty array). *)
+
+val of_list : int list -> t
+(** Raises [Invalid_argument] on nonpositive dimensions. *)
+
+val of_array : int array -> t
+val dims : t -> int array
+val rank : t -> int
+
+val size : t -> int
+(** Product of the dimensions ([1] for rank 0). *)
+
+val strides : t -> int array
+(** Row-major strides: the last dimension varies fastest. *)
+
+val linear_index : t -> int array -> int
+(** Raises [Invalid_argument] on rank mismatch or out-of-bounds indices. *)
+
+val multi_index : t -> int -> int array
+(** Inverse of {!linear_index}. *)
+
+val equal : t -> t -> bool
+val permute : t -> int array -> t
+(** [permute shape perm] has dimension [perm.(i)] of [shape] at axis [i].
+    Raises [Invalid_argument] if [perm] is not a permutation of the axes. *)
+
+val pp : Format.formatter -> t -> unit

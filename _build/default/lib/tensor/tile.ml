@@ -1,0 +1,61 @@
+type range = { offset : int; length : int }
+
+let uniform ~dim ~tile =
+  if dim < 0 || tile < 1 then invalid_arg "Tile.uniform: dim >= 0 and tile >= 1 expected";
+  let rec loop offset acc =
+    if offset >= dim then List.rev acc
+    else
+      let length = min tile (dim - offset) in
+      loop (offset + length) ({ offset; length } :: acc)
+  in
+  loop 0 []
+
+let of_lengths lengths =
+  List.iter (fun l -> if l <= 0 then invalid_arg "Tile.of_lengths: nonpositive length") lengths;
+  let _, ranges =
+    List.fold_left
+      (fun (offset, acc) length -> (offset + length, { offset; length } :: acc))
+      (0, []) lengths
+  in
+  List.rev ranges
+
+let total ranges = List.fold_left (fun acc r -> acc + r.length) 0 ranges
+
+let grid dims =
+  let rec product = function
+    | [] -> [ [] ]
+    | d :: rest ->
+        let tails = product rest in
+        List.concat_map (fun r -> List.map (fun tl -> r :: tl) tails) d
+  in
+  List.map Array.of_list (product dims)
+
+let tile_size tile = Array.fold_left (fun acc r -> acc * r.length) 1 tile
+
+let tile_bytes tile = 8 * tile_size tile
+
+let check_bounds t tile =
+  let dims = Shape.dims (Dense.shape t) in
+  if Array.length tile <> Array.length dims then invalid_arg "Tile: rank mismatch";
+  Array.iteri
+    (fun i r ->
+      if r.offset < 0 || r.length < 1 || r.offset + r.length > dims.(i) then
+        invalid_arg "Tile: out of bounds")
+    tile
+
+let extract t tile =
+  check_bounds t tile;
+  let out_shape = Shape.of_array (Array.map (fun r -> r.length) tile) in
+  Dense.init out_shape (fun idx ->
+      Dense.get t (Array.mapi (fun i v -> tile.(i).offset + v) idx))
+
+let insert dst tile src =
+  check_bounds dst tile;
+  let expected = Array.map (fun r -> r.length) tile in
+  if Shape.dims (Dense.shape src) <> expected then invalid_arg "Tile.insert: shape mismatch";
+  let n = Dense.size src in
+  let src_shape = Dense.shape src in
+  for lin = 0 to n - 1 do
+    let idx = Shape.multi_index src_shape lin in
+    Dense.set dst (Array.mapi (fun i v -> tile.(i).offset + v) idx) (Dense.get src idx)
+  done

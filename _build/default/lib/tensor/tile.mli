@@ -1,0 +1,40 @@
+(** Tilings of index ranges and of multi-dimensional index spaces.
+
+    NWChem-style tensor codes split every tensor dimension into tiles and
+    generate one task per tile combination; HF uses a fixed tile size
+    (homogeneous tiles) while CCSD derives irregular tile sizes from the
+    input molecule (heterogeneous tiles) — the property driving the two
+    workloads' contrasting behaviour in the paper. *)
+
+type range = { offset : int; length : int }
+
+val uniform : dim:int -> tile:int -> range list
+(** Split [0 .. dim-1] into tiles of [tile] elements (last tile may be
+    shorter). Raises [Invalid_argument] unless [dim >= 0] and
+    [tile >= 1]. *)
+
+val of_lengths : int list -> range list
+(** Explicit (heterogeneous) tile lengths; offsets are accumulated.
+    Raises [Invalid_argument] on nonpositive lengths. *)
+
+val total : range list -> int
+(** Sum of the lengths. *)
+
+val grid : range list list -> range array list
+(** Cartesian product over the dimensions: every tile of a tensor whose
+    [i]-th dimension is tiled by the [i]-th list. The array in each
+    element has one range per dimension. *)
+
+val tile_size : range array -> int
+(** Number of elements of a grid tile. *)
+
+val tile_bytes : range array -> int
+(** [8 * tile_size] — double-precision bytes moved when transferring it. *)
+
+val extract : Dense.t -> range array -> Dense.t
+(** Copy a rectangular tile out of a tensor. Raises [Invalid_argument]
+    when the tile exceeds the tensor's bounds. *)
+
+val insert : Dense.t -> range array -> Dense.t -> unit
+(** [insert dst tile src] writes [src] (whose shape must match the tile
+    lengths) into the rectangular region of [dst]. *)

@@ -1,0 +1,1 @@
+lib/trace/fleet.ml: Array Dt_core Float Trace

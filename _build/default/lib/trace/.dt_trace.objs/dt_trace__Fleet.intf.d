@@ -1,0 +1,1 @@
+lib/trace/fleet.mli: Dt_core Trace

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Dt_core Filename Float Fun List Printf String Sys

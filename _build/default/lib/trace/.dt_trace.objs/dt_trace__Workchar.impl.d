@@ -1,0 +1,1 @@
+lib/trace/workchar.ml: Array Dt_core Float List Trace

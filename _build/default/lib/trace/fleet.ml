@@ -1,0 +1,53 @@
+type policy =
+  | Fixed of Dt_core.Heuristic.t
+  | Portfolio of Dt_core.Heuristic.t list
+
+type process_outcome = {
+  name : string;
+  makespan : float;
+  omim : float;
+  ratio : float;
+  chosen : Dt_core.Heuristic.t;
+}
+
+type outcome = {
+  processes : process_outcome array;
+  application_makespan : float;
+  application_lower_bound : float;
+  mean_ratio : float;
+  worst_ratio : float;
+}
+
+let run_process ~capacity_factor policy trace =
+  let m_c = Trace.min_capacity trace in
+  let instance = Trace.to_instance trace ~capacity:(m_c *. capacity_factor) in
+  let chosen, sched =
+    match policy with
+    | Fixed h -> (h, Dt_core.Heuristic.run h instance)
+    | Portfolio candidates -> Dt_core.Auto.select ~candidates instance
+  in
+  let omim = Dt_core.Johnson.omim trace.Trace.tasks in
+  let makespan = Dt_core.Schedule.makespan sched in
+  {
+    name = trace.Trace.name;
+    makespan;
+    omim;
+    ratio = (if omim > 0.0 then makespan /. omim else 1.0);
+    chosen;
+  }
+
+let run ?(capacity_factor = 1.5) policy traces =
+  if Array.length traces = 0 then invalid_arg "Fleet.run: empty trace set";
+  let processes = Array.map (run_process ~capacity_factor policy) traces in
+  let fold f init = Array.fold_left f init processes in
+  {
+    processes;
+    application_makespan = fold (fun acc p -> Float.max acc p.makespan) 0.0;
+    application_lower_bound = fold (fun acc p -> Float.max acc p.omim) 0.0;
+    mean_ratio =
+      fold (fun acc p -> acc +. p.ratio) 0.0 /. float_of_int (Array.length processes);
+    worst_ratio = fold (fun acc p -> Float.max acc p.ratio) 0.0;
+  }
+
+let speedup_over_submission outcome ~submission =
+  submission.application_makespan /. outcome.application_makespan

@@ -1,0 +1,33 @@
+(** Whole-application view: the paper's setting has 150 worker processes,
+    each independently ordering its own transfers to and from the Global
+    Arrays memory. This module runs a scheduling policy on every
+    per-process trace and aggregates the outcome — the application
+    finishes when its slowest process does. *)
+
+type policy =
+  | Fixed of Dt_core.Heuristic.t         (** same heuristic everywhere *)
+  | Portfolio of Dt_core.Heuristic.t list(** per-process best-of (Auto) *)
+
+type process_outcome = {
+  name : string;
+  makespan : float;
+  omim : float;
+  ratio : float;
+  chosen : Dt_core.Heuristic.t;  (** the heuristic that actually ran *)
+}
+
+type outcome = {
+  processes : process_outcome array;
+  application_makespan : float;        (** max over processes *)
+  application_lower_bound : float;     (** max of the per-process OMIMs *)
+  mean_ratio : float;
+  worst_ratio : float;
+}
+
+val run : ?capacity_factor:float -> policy -> Trace.t array -> outcome
+(** Each process gets capacity [capacity_factor * its own m_c]
+    (default 1.5). Raises [Invalid_argument] on an empty trace set. *)
+
+val speedup_over_submission : outcome -> submission:outcome -> float
+(** Application-level speedup of this policy against the
+    submission-order baseline. *)

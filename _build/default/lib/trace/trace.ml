@@ -1,0 +1,85 @@
+type t = {
+  name : string;
+  tasks : Dt_core.Task.t list;
+}
+
+let make ~name tasks = { name; tasks }
+
+let size t = List.length t.tasks
+
+let to_instance t ~capacity = Dt_core.Instance.make_keep_ids ~capacity t.tasks
+
+let min_capacity t =
+  List.fold_left (fun acc (tk : Dt_core.Task.t) -> Float.max acc tk.Dt_core.Task.mem) 0.0 t.tasks
+
+let write oc t =
+  Printf.fprintf oc "# dtsched-trace v1 %s\n" t.name;
+  Printf.fprintf oc "# id\tlabel\tcomm\tcomp\tmem\n";
+  List.iter
+    (fun (tk : Dt_core.Task.t) ->
+      Printf.fprintf oc "%d\t%s\t%.17g\t%.17g\t%.17g\n" tk.Dt_core.Task.id tk.Dt_core.Task.label
+        tk.Dt_core.Task.comm tk.Dt_core.Task.comp tk.Dt_core.Task.mem)
+    t.tasks
+
+let read ic =
+  let header = try input_line ic with End_of_file -> failwith "Trace.read: empty stream" in
+  let name =
+    match String.split_on_char ' ' header with
+    | "#" :: "dtsched-trace" :: "v1" :: rest when rest <> [] -> String.concat " " rest
+    | _ -> failwith "Trace.read: bad header"
+  in
+  let tasks = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line > 0 && line.[0] <> '#' then
+         match String.split_on_char '\t' line with
+         | [ id; label; comm; comp; mem ] ->
+             let num s =
+               match float_of_string_opt s with
+               | Some v -> v
+               | None -> failwith "Trace.read: bad number"
+             in
+             let id =
+               match int_of_string_opt id with
+               | Some v -> v
+               | None -> failwith "Trace.read: bad id"
+             in
+             tasks :=
+               Dt_core.Task.make ~label ~mem:(num mem) ~id ~comm:(num comm) ~comp:(num comp) ()
+               :: !tasks
+         | _ -> failwith "Trace.read: bad record"
+     done
+   with End_of_file -> ());
+  { name; tasks = List.rev !tasks }
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let save ~dir t =
+  ensure_dir dir;
+  let path = Filename.concat dir (t.name ^ ".trace") in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc t);
+  path
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+
+let of_task_lists ~prefix lists =
+  Array.mapi (fun i tasks -> make ~name:(Printf.sprintf "%s-p%03d" prefix i) tasks) lists
+
+let save_set ~dir ~prefix traces =
+  ignore prefix;
+  Array.to_list (Array.map (fun t -> save ~dir t) traces)
+
+let load_set ~dir ~prefix =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > String.length prefix
+           && String.sub f 0 (String.length prefix + 2) = prefix ^ "-p"
+           && Filename.check_suffix f ".trace")
+    |> List.sort String.compare
+  in
+  Array.of_list (List.map (fun f -> load (Filename.concat dir f)) files)

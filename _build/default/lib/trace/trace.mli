@@ -1,0 +1,39 @@
+(** Task traces: the per-process task streams the paper collects from
+    instrumented NWChem runs, with a plain-text file format so traces can
+    be saved, inspected and re-analysed.
+
+    Format: one header line [# dtsched-trace v1 <name>], one comment line
+    with the column names, then one tab-separated line per task:
+    [id label comm comp mem]. *)
+
+type t = {
+  name : string;          (** e.g. ["hf-p042"] *)
+  tasks : Dt_core.Task.t list;
+}
+
+val make : name:string -> Dt_core.Task.t list -> t
+
+val size : t -> int
+
+val to_instance : t -> capacity:float -> Dt_core.Instance.t
+(** Keeps task ids (they are the submission order within the trace). *)
+
+val min_capacity : t -> float
+(** [m_c] of the trace: the largest single memory requirement. *)
+
+val write : out_channel -> t -> unit
+val read : in_channel -> t
+(** Raises [Failure] on a malformed stream. *)
+
+val save : dir:string -> t -> string
+(** Writes [<dir>/<name>.trace] (creating [dir] if needed) and returns
+    the path. *)
+
+val load : string -> t
+
+val save_set : dir:string -> prefix:string -> t array -> string list
+val load_set : dir:string -> prefix:string -> t array
+(** Loads every [<prefix>-p*.trace] in ascending process order. *)
+
+val of_task_lists : prefix:string -> Dt_core.Task.t list array -> t array
+(** Name each process's task list [<prefix>-p<idx>]. *)

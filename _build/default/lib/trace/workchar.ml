@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  sum_comm : float;
+  sum_comp : float;
+  omim : float;
+  norm_comm : float;
+  norm_comp : float;
+  norm_max : float;
+  norm_sum : float;
+  m_c : float;
+  tasks : int;
+}
+
+let of_trace (trace : Trace.t) =
+  if trace.Trace.tasks = [] then invalid_arg "Workchar.of_trace: empty trace";
+  let sum f = List.fold_left (fun acc tk -> acc +. f tk) 0.0 trace.Trace.tasks in
+  let sum_comm = sum (fun tk -> tk.Dt_core.Task.comm)
+  and sum_comp = sum (fun tk -> tk.Dt_core.Task.comp) in
+  let omim = Dt_core.Johnson.omim trace.Trace.tasks in
+  let norm_comm = sum_comm /. omim and norm_comp = sum_comp /. omim in
+  {
+    name = trace.Trace.name;
+    sum_comm;
+    sum_comp;
+    omim;
+    norm_comm;
+    norm_comp;
+    norm_max = Float.max norm_comm norm_comp;
+    norm_sum = norm_comm +. norm_comp;
+    m_c = Trace.min_capacity trace;
+    tasks = Trace.size trace;
+  }
+
+let of_set traces = Array.map of_trace traces
+
+let max_overlap_fraction t = 1.0 -. (t.norm_max /. t.norm_sum)

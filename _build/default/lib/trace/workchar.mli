@@ -1,0 +1,27 @@
+(** Workload characteristics (Figure 8 of the paper): for each trace, the
+    total communication and computation times normalised by the OMIM
+    lower bound, plus the max (a lower bound on any makespan) and the sum
+    (the zero-overlap sequential upper bound). *)
+
+type t = {
+  name : string;
+  sum_comm : float;
+  sum_comp : float;
+  omim : float;
+  norm_comm : float;   (** sum_comm / omim *)
+  norm_comp : float;   (** sum_comp / omim *)
+  norm_max : float;    (** max of the two normalised sums *)
+  norm_sum : float;    (** their total: the sequential schedule *)
+  m_c : float;         (** minimum feasible memory capacity *)
+  tasks : int;
+}
+
+val of_trace : Trace.t -> t
+(** Raises [Invalid_argument] on an empty trace. *)
+
+val of_set : Trace.t array -> t array
+
+val max_overlap_fraction : t -> float
+(** [1 - norm_max / norm_sum]: the fraction of the sequential makespan
+    that perfect overlap could hide (the paper observes at most ~20%
+    for HF and substantially more for CCSD). *)

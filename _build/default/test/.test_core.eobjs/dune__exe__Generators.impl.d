@@ -1,0 +1,1 @@
+test/generators.ml: Dt_core Float Format Instance List QCheck2 QCheck_alcotest Schedule Task

@@ -1,0 +1,1 @@
+test/paper_examples.ml: Dt_core

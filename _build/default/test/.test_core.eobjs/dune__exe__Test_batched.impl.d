@@ -1,0 +1,1 @@
+test/test_batched.ml: Alcotest Batched Dt_core Dynamic_rules Float Generators Heuristic Instance Int List Metrics Paper_examples Schedule Static_rules

@@ -1,0 +1,1 @@
+test/test_chem.ml: Alcotest Array Dt_chem Dt_core Dt_ga Dt_stats Dt_tensor Float List Printf

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Dt_core Exact Float Generators Gilmore_gomory Hashtbl Heuristic Instance Int Johnson List Paper_examples QCheck2 Schedule Task

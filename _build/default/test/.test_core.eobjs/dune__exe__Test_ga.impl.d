@@ -1,0 +1,1 @@
+test/test_ga.ml: Alcotest Cluster Dt_ga Dt_tensor Garray List

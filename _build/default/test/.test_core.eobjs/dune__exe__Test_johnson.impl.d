@@ -1,0 +1,1 @@
+test/test_johnson.ml: Alcotest Array Dt_core Exact Float Generators Instance Johnson List Paper_examples Printf QCheck2 QCheck_alcotest Schedule Sim String Task

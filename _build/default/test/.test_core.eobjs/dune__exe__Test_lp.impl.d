@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Dt_lp Dump Float Fmt Format List Milp QCheck2 QCheck_alcotest Simplex

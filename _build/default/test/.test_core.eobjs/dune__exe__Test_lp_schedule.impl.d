@@ -1,0 +1,1 @@
+test/test_lp_schedule.ml: Alcotest Dt_core Exact Float Generators Instance Lp_schedule Metrics Schedule Sim

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Dt_core Float Instance List Schedule Task

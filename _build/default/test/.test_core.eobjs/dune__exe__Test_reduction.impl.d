@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Dt_core Heuristic Instance List Reduction Schedule Sim Task

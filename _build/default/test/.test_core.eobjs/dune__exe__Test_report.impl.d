@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Dt_core Dt_report Dt_stats List String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dt_core Generators Instance List Lp_schedule QCheck2 Schedule Sim Task

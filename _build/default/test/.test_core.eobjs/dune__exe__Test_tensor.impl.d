@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dense Dt_stats Dt_tensor Fun Linalg List Ops Shape Tile

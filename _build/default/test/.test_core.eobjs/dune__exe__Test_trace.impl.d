@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Dt_core Dt_trace Filename Fun List Printf Sys

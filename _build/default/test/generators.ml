@@ -1,0 +1,54 @@
+(* QCheck2 generators shared by the property-test suites. *)
+
+open Dt_core
+
+let task_gen =
+  QCheck2.Gen.(
+    let* comm = map (fun x -> float_of_int x /. 4.0) (int_range 0 40) in
+    let* comp = map (fun x -> float_of_int x /. 4.0) (int_range 0 40) in
+    let* mem_extra = map (fun x -> float_of_int x /. 4.0) (int_range 0 8) in
+    (* memory defaults to the communication time, sometimes padded, and is
+       kept positive so that a capacity can always accommodate the task *)
+    let mem = Float.max 0.25 (comm +. mem_extra) in
+    return (fun id -> Task.make ~id ~comm ~comp ~mem ()))
+
+(* An instance whose capacity always admits every task individually:
+   capacity = m_c * (1 + slack). *)
+let instance_gen ?(min_size = 1) ?(max_size = 8) () =
+  QCheck2.Gen.(
+    let* n = int_range min_size max_size in
+    let* mk = list_repeat n task_gen in
+    let* slack = map (fun x -> float_of_int x /. 8.0) (int_range 0 16) in
+    let tasks = List.mapi (fun i f -> f i) mk in
+    let m_c =
+      List.fold_left (fun acc (t : Task.t) -> Float.max acc t.Task.mem) 0.25 tasks
+    in
+    return (Instance.make ~capacity:(m_c *. (1.0 +. slack)) tasks))
+
+(* Instances where memory equals communication time exactly (the paper's
+   convention), used by solvers that assume it. *)
+let paper_instance_gen ?(min_size = 1) ?(max_size = 6) () =
+  QCheck2.Gen.(
+    let* n = int_range min_size max_size in
+    let* pairs =
+      list_repeat n
+        (pair
+           (map (fun x -> float_of_int x /. 2.0) (int_range 1 12))
+           (map (fun x -> float_of_int x /. 2.0) (int_range 0 12)))
+    in
+    let* slack = map (fun x -> float_of_int x /. 4.0) (int_range 0 8) in
+    let m_c = List.fold_left (fun acc (cm, _) -> Float.max acc cm) 0.5 pairs in
+    return (Instance.of_triples ~capacity:(m_c *. (1.0 +. slack)) pairs))
+
+let instance_print i = Format.asprintf "%a" Instance.pp i
+
+let prop_test ?(count = 300) ~name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print:instance_print gen prop)
+
+let check_feasible name instance sched =
+  match Schedule.check sched with
+  | Ok () -> true
+  | Error v ->
+      QCheck2.Test.fail_reportf "%s: invalid schedule (%s) on %a" name
+        (Schedule.violation_to_string v) Instance.pp instance

@@ -1,0 +1,7 @@
+(* The worked examples of the paper, re-exported from the library for the
+   test modules. *)
+
+let table2 = Dt_core.Examples.table2
+let table3 = Dt_core.Examples.table3
+let table4 = Dt_core.Examples.table4
+let table5 = Dt_core.Examples.table5

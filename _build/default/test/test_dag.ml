@@ -1,0 +1,161 @@
+(* Task graphs and wave scheduling, plus the process-fleet aggregation. *)
+
+open Dt_core
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let t ~id comm comp = Task.make ~id ~comm ~comp ()
+
+(* diamond: 0 -> {1, 2} -> 3 *)
+let diamond =
+  Dag.make ~capacity:100.0
+    [
+      (t ~id:0 1.0 2.0, []);
+      (t ~id:1 2.0 3.0, [ 0 ]);
+      (t ~id:2 1.0 1.0, [ 0 ]);
+      (t ~id:3 1.0 2.0, [ 1; 2 ]);
+    ]
+
+let construction_validation () =
+  Alcotest.check_raises "cycle" (Invalid_argument "Dag.make: dependency cycle") (fun () ->
+      ignore
+        (Dag.make ~capacity:10.0 [ (t ~id:0 1.0 1.0, [ 1 ]); (t ~id:1 1.0 1.0, [ 0 ]) ]));
+  Alcotest.check_raises "self" (Invalid_argument "Dag.make: self-dependency") (fun () ->
+      ignore (Dag.make ~capacity:10.0 [ (t ~id:0 1.0 1.0, [ 0 ]) ]));
+  Alcotest.check_raises "unknown" (Invalid_argument "Dag.make: unknown dependency id")
+    (fun () -> ignore (Dag.make ~capacity:10.0 [ (t ~id:0 1.0 1.0, [ 7 ]) ]));
+  Alcotest.check_raises "duplicates" (Invalid_argument "Dag.make: duplicate task ids")
+    (fun () ->
+      ignore (Dag.make ~capacity:10.0 [ (t ~id:0 1.0 1.0, []); (t ~id:0 1.0 1.0, []) ]))
+
+let structure () =
+  Alcotest.(check int) "size" 4 (Dag.size diamond);
+  Alcotest.(check int) "one root" 1 (List.length (Dag.roots diamond));
+  Alcotest.(check (list int)) "deps of 3" [ 1; 2 ] (Dag.dependencies diamond 3);
+  let topo = Dag.topological_order diamond in
+  Alcotest.(check int) "topo covers all" 4 (List.length topo);
+  (* every task appears after its dependencies *)
+  let pos = Hashtbl.create 4 in
+  List.iteri (fun i (tk : Task.t) -> Hashtbl.replace pos tk.Task.id i) topo;
+  Alcotest.(check bool) "topo respects deps" true
+    (List.for_all
+       (fun (tk : Task.t) ->
+         List.for_all
+           (fun d -> Hashtbl.find pos d < Hashtbl.find pos tk.Task.id)
+           (Dag.dependencies diamond tk.Task.id))
+       topo)
+
+let waves_and_critical_path () =
+  let ws = Dag.waves diamond in
+  Alcotest.(check (list int)) "wave sizes" [ 1; 2; 1 ] (List.map List.length ws);
+  (* longest chain 0 -> 1 -> 3: (1+2) + (2+3) + (1+2) = 11 *)
+  check_float "critical path" 11.0 (Dag.critical_path diamond)
+
+let schedule_respects_dependencies () =
+  let sched = Dag.schedule diamond in
+  Alcotest.(check bool) "valid" true (Dag.check diamond sched = Ok ());
+  Alcotest.(check int) "all tasks" 4 (Schedule.size sched);
+  Alcotest.(check bool) "at least the critical path" true
+    (Schedule.makespan sched >= Dag.critical_path diamond -. 1e-9)
+
+let check_catches_violation () =
+  (* schedule task 1's transfer before task 0's computation ends *)
+  let bogus =
+    Schedule.make ~capacity:100.0
+      [
+        { Schedule.task = t ~id:0 1.0 2.0; s_comm = 0.0; s_comp = 1.0 };
+        { Schedule.task = t ~id:1 2.0 3.0; s_comm = 1.0; s_comp = 3.0 };
+        { Schedule.task = t ~id:2 1.0 1.0; s_comm = 3.0; s_comp = 6.0 };
+        { Schedule.task = t ~id:3 1.0 2.0; s_comm = 7.0; s_comp = 8.0 };
+      ]
+  in
+  match Dag.check diamond bogus with
+  | Error msg -> Alcotest.(check bool) "has a message" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "expected a dependency violation"
+
+let prop_layered_schedules_valid =
+  let gen =
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* layers = int_range 1 5 in
+      let* width = int_range 1 6 in
+      return (seed, layers, width))
+  in
+  let print (s, l, w) = Printf.sprintf "seed=%d layers=%d width=%d" s l w in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"layered DAG wave schedules are valid" ~print gen
+       (fun (seed, layers, width) ->
+         let rng = Dt_stats.Rng.create seed in
+         let dag =
+           Dag.layered ~rng ~layers ~width ~edge_probability:0.4 ~capacity_factor:1.5
+         in
+         List.for_all
+           (fun h ->
+             let sched = Dag.schedule ~heuristic:h dag in
+             match Dag.check dag sched with
+             | Ok () ->
+                 Schedule.size sched = Dag.size dag
+                 && Schedule.makespan sched >= Dag.critical_path dag -. 1e-9
+             | Error msg -> QCheck2.Test.fail_reportf "invalid: %s" msg)
+           [
+             Heuristic.Static Static_rules.OS;
+             Heuristic.Dynamic Dynamic_rules.LCMR;
+             Heuristic.Corrected Corrected_rules.OOSCMR;
+           ]))
+
+(* ------------------------------- fleet ------------------------------- *)
+
+let fleet_traces =
+  lazy
+    (let cluster = Dt_ga.Cluster.cascade in
+     let lists = Dt_chem.Workload.hf_trace_set ~seed:3 ~cluster ~nbf:1200 () in
+     Array.sub (Dt_trace.Trace.of_task_lists ~prefix:"hf" lists) 0 8)
+
+let fleet_runs () =
+  let traces = Lazy.force fleet_traces in
+  let sub = Dt_trace.Fleet.run (Dt_trace.Fleet.Fixed (Heuristic.Static Static_rules.OS)) traces in
+  Alcotest.(check int) "all processes" 8 (Array.length sub.Dt_trace.Fleet.processes);
+  Alcotest.(check bool) "lower bound holds" true
+    (sub.Dt_trace.Fleet.application_makespan
+    >= sub.Dt_trace.Fleet.application_lower_bound -. 1e-9);
+  Alcotest.(check bool) "ratios sane" true
+    (sub.Dt_trace.Fleet.mean_ratio >= 1.0 -. 1e-9
+    && sub.Dt_trace.Fleet.worst_ratio >= sub.Dt_trace.Fleet.mean_ratio -. 1e-9)
+
+let portfolio_dominates_fixed () =
+  let traces = Lazy.force fleet_traces in
+  let fixed = Dt_trace.Fleet.run (Dt_trace.Fleet.Fixed (Heuristic.Static Static_rules.OS)) traces in
+  let portfolio = Dt_trace.Fleet.run (Dt_trace.Fleet.Portfolio Heuristic.all) traces in
+  Alcotest.(check bool) "portfolio at least as good" true
+    (portfolio.Dt_trace.Fleet.application_makespan
+    <= fixed.Dt_trace.Fleet.application_makespan +. 1e-9);
+  Alcotest.(check bool) "speedup >= 1" true
+    (Dt_trace.Fleet.speedup_over_submission portfolio ~submission:fixed >= 1.0 -. 1e-9)
+
+(* -------------------------------- svg -------------------------------- *)
+
+let svg_renders () =
+  let sched = Dynamic_rules.run Dynamic_rules.LCMR Examples.table4 in
+  let s = Dt_report.Svg.render ~width:400 sched in
+  let has needle =
+    let lh = String.length s and ln = String.length needle in
+    let rec loop i = i + ln <= lh && (String.sub s i ln = needle || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "svg document" true (has "<svg" && has "</svg>");
+  Alcotest.(check bool) "task boxes" true (has "<rect");
+  Alcotest.(check bool) "memory profile" true (has "<polyline");
+  Alcotest.(check bool) "capacity line" true (has "C=6")
+
+let suite =
+  [
+    Alcotest.test_case "construction validation" `Quick construction_validation;
+    Alcotest.test_case "structure" `Quick structure;
+    Alcotest.test_case "waves and critical path" `Quick waves_and_critical_path;
+    Alcotest.test_case "schedule respects dependencies" `Quick schedule_respects_dependencies;
+    Alcotest.test_case "check catches violations" `Quick check_catches_violation;
+    prop_layered_schedules_valid;
+    Alcotest.test_case "fleet runs" `Quick fleet_runs;
+    Alcotest.test_case "portfolio dominates fixed" `Quick portfolio_dominates_fixed;
+    Alcotest.test_case "svg renders" `Quick svg_renders;
+  ]

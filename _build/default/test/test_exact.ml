@@ -1,0 +1,102 @@
+(* Exact solvers: Proposition 1 (Table 2), ground-truthing of heuristics,
+   and the Gilmore-Gomory optimality check. *)
+
+open Dt_core
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Proposition 1: on the Table 2 instance with capacity 10, the best
+   schedule with a common order on both resources is strictly worse than
+   the best schedule allowed to order them differently. *)
+let proposition1 () =
+  let i = Paper_examples.table2 in
+  let same = Exact.best_same_order i in
+  let free = Exact.best_free_order i in
+  Alcotest.(check bool) "same-order schedule valid" true (Schedule.check same = Ok ());
+  Alcotest.(check bool) "free-order schedule valid" true (Schedule.check free = Ok ());
+  Alcotest.(check bool) "free order strictly better" true
+    (Schedule.makespan free < Schedule.makespan same -. 1e-9);
+  Alcotest.(check bool) "optimal free schedule reorders" true
+    (not (Schedule.same_order free))
+
+let unconstrained_reduces_to_johnson () =
+  let i = Instance.with_capacity Paper_examples.table3 1000.0 in
+  let best = Exact.best_same_order i in
+  check_float "equals OMIM" (Johnson.omim (Instance.task_list i)) (Schedule.makespan best)
+
+let rejects_bad_instances () =
+  Alcotest.check_raises "empty" (Invalid_argument "Exact: empty instance") (fun () ->
+      ignore (Exact.best_same_order (Instance.make ~capacity:1.0 [])));
+  let i = Instance.of_triples ~capacity:1.0 [ (2.0, 1.0) ] in
+  Alcotest.check_raises "oversized"
+    (Invalid_argument "Exact: a task alone exceeds the memory capacity") (fun () ->
+      ignore (Exact.best_same_order i))
+
+let permutation_count () =
+  let count = ref 0 in
+  Exact.iter_permutations [| 1; 2; 3; 4 |] (fun _ -> incr count);
+  Alcotest.(check int) "4! permutations" 24 !count
+
+let permutations_distinct () =
+  let seen = Hashtbl.create 32 in
+  Exact.iter_permutations [| 1; 2; 3; 4 |] (fun p -> Hashtbl.replace seen (Array.to_list p) ());
+  Alcotest.(check int) "all distinct" 24 (Hashtbl.length seen)
+
+let prop_best_same_order_lower_bounds_heuristics =
+  Generators.prop_test ~count:60 ~name:"exact same-order <= every (same-order) heuristic"
+    (Generators.instance_gen ~min_size:1 ~max_size:6 ())
+    (fun instance ->
+      let best = Schedule.makespan (Exact.best_same_order instance) in
+      List.for_all
+        (fun h -> Schedule.makespan (Heuristic.run h instance) >= best -. 1e-9)
+        Heuristic.all)
+
+let prop_free_order_at_least_omim =
+  Generators.prop_test ~count:40 ~name:"OMIM <= exact free-order <= exact same-order"
+    (Generators.instance_gen ~min_size:1 ~max_size:5 ())
+    (fun instance ->
+      let omim = Johnson.omim (Instance.task_list instance) in
+      let free = Schedule.makespan (Exact.best_free_order instance) in
+      let same = Schedule.makespan (Exact.best_same_order instance) in
+      omim <= free +. 1e-9 && free <= same +. 1e-9)
+
+(* Gilmore-Gomory: the produced sequence attains the exact optimal
+   no-wait makespan computed by Held-Karp. *)
+let prop_gg_optimal_no_wait =
+  Generators.prop_test ~count:300 ~name:"Gilmore-Gomory is no-wait optimal"
+    (Generators.instance_gen ~min_size:1 ~max_size:7 ())
+    (fun instance ->
+      let tasks = Instance.task_list instance in
+      let gg = Gilmore_gomory.no_wait_makespan (Gilmore_gomory.order tasks) in
+      let opt = Exact.optimal_no_wait_makespan tasks in
+      if Float.abs (gg -. opt) > 1e-9 then
+        QCheck2.Test.fail_reportf "GG %g vs optimal %g" gg opt
+      else true)
+
+let gg_order_is_permutation () =
+  let tasks = Instance.task_list Paper_examples.table2 in
+  let ordered = Gilmore_gomory.order tasks in
+  let ids l = List.sort Int.compare (List.map (fun (t : Task.t) -> t.Task.id) l) in
+  Alcotest.(check (list int)) "permutation" (ids tasks) (ids ordered)
+
+let no_wait_makespan_simple () =
+  (* two jobs: (2,3) then (4,1): start second comm at max(2, 5-4)=2,
+     comp [6,7) *)
+  let t1 = Task.make ~id:0 ~comm:2.0 ~comp:3.0 ()
+  and t2 = Task.make ~id:1 ~comm:4.0 ~comp:1.0 () in
+  check_float "no-wait" 7.0 (Gilmore_gomory.no_wait_makespan [ t1; t2 ]);
+  check_float "reverse" 9.0 (Gilmore_gomory.no_wait_makespan [ t2; t1 ])
+
+let suite =
+  [
+    Alcotest.test_case "Proposition 1 (Table 2)" `Slow proposition1;
+    Alcotest.test_case "unconstrained = Johnson" `Quick unconstrained_reduces_to_johnson;
+    Alcotest.test_case "input validation" `Quick rejects_bad_instances;
+    Alcotest.test_case "permutation count" `Quick permutation_count;
+    Alcotest.test_case "permutations distinct" `Quick permutations_distinct;
+    Alcotest.test_case "GG order is a permutation" `Quick gg_order_is_permutation;
+    Alcotest.test_case "no-wait makespan" `Quick no_wait_makespan_simple;
+    prop_best_same_order_lower_bounds_heuristics;
+    prop_free_order_at_least_omim;
+    prop_gg_optimal_no_wait;
+  ]

@@ -1,0 +1,75 @@
+(* dt_ga: cluster model and simulated global arrays. *)
+
+open Dt_ga
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let cascade_matches_paper () =
+  let c = Cluster.cascade in
+  Alcotest.(check int) "10 nodes" 10 c.Cluster.nodes;
+  Alcotest.(check int) "16 cores" 16 c.Cluster.cores_per_node;
+  (* GA dedicates one core per node: 150 worker processes *)
+  Alcotest.(check int) "150 processes" 150 (Cluster.processes c)
+
+let time_model () =
+  let c = Cluster.make ~nodes:1 ~cores_per_node:2 ~flop_rate:1e9 ~bandwidth:1e9 ~latency:1e-6 () in
+  check_float "comm" (1e-6 +. 1.0) (Cluster.comm_time c ~bytes:1e9);
+  check_float "zero bytes free" 0.0 (Cluster.comm_time c ~bytes:0.0);
+  check_float "comp" 2.0 (Cluster.comp_time c ~flops:2e9);
+  check_float "zero flops free" 0.0 (Cluster.comp_time c ~flops:0.0)
+
+let cluster_validation () =
+  Alcotest.check_raises "no workers"
+    (Invalid_argument "Cluster.make: service cores must leave at least one worker") (fun () ->
+      ignore
+        (Cluster.make ~service_cores_per_node:2 ~nodes:1 ~cores_per_node:2 ~flop_rate:1e9
+           ~bandwidth:1e9 ()));
+  Alcotest.check_raises "bad rate" (Invalid_argument "Cluster.make: nonpositive rate")
+    (fun () ->
+      ignore (Cluster.make ~nodes:1 ~cores_per_node:2 ~flop_rate:0.0 ~bandwidth:1e9 ()))
+
+let tilings = [| Dt_tensor.Tile.uniform ~dim:10 ~tile:4; Dt_tensor.Tile.uniform ~dim:6 ~tile:3 |]
+
+let garray_structure () =
+  let g = Garray.create ~nprocs:4 ~tilings () in
+  Alcotest.(check int) "rank" 2 (Garray.rank g);
+  Alcotest.(check (array int)) "dims" [| 10; 6 |] (Garray.dims g);
+  Alcotest.(check int) "tiles (3 x 2)" 6 (Garray.ntiles g);
+  Alcotest.(check int) "first tile bytes" (8 * 4 * 3) (Garray.tile_bytes g 0);
+  (* ragged last tile: 2 x 3 *)
+  Alcotest.(check int) "last tile bytes" (8 * 2 * 3) (Garray.tile_bytes g 5)
+
+let garray_round_robin () =
+  let g = Garray.create ~nprocs:4 ~tilings () in
+  Alcotest.(check (list int)) "owners" [ 0; 1; 2; 3; 0; 1 ]
+    (List.init 6 (Garray.owner g));
+  Alcotest.(check (list int)) "locals of 0" [ 0; 4 ] (Garray.local_tiles g ~proc:0);
+  Alcotest.(check bool) "is_local" true (Garray.is_local g ~proc:1 1)
+
+let garray_blocked () =
+  let g = Garray.create ~policy:Garray.Blocked ~nprocs:3 ~tilings () in
+  Alcotest.(check (list int)) "owners" [ 0; 0; 1; 1; 2; 2 ] (List.init 6 (Garray.owner g))
+
+let fetch_accounting () =
+  let g = Garray.create ~nprocs:4 ~tilings () in
+  (* proc 0 owns tiles 0 and 4; fetching 0,1,4 costs only tile 1 *)
+  check_float "remote bytes" (float_of_int (Garray.tile_bytes g 1))
+    (Garray.fetch_bytes g ~proc:0 [ 0; 1; 4 ]);
+  check_float "all local" 0.0 (Garray.fetch_bytes g ~proc:0 [ 0; 4 ])
+
+let remote_fraction_balances () =
+  let g = Garray.create ~nprocs:5 ~tilings:[| Dt_tensor.Tile.uniform ~dim:100 ~tile:2 |] () in
+  let f = Garray.remote_fraction g ~proc:2 in
+  Alcotest.(check (float 1e-9)) "~ 1 - 1/P" 0.8 f
+
+let suite =
+  [
+    Alcotest.test_case "cascade preset" `Quick cascade_matches_paper;
+    Alcotest.test_case "time model" `Quick time_model;
+    Alcotest.test_case "cluster validation" `Quick cluster_validation;
+    Alcotest.test_case "garray structure" `Quick garray_structure;
+    Alcotest.test_case "round-robin owners" `Quick garray_round_robin;
+    Alcotest.test_case "blocked owners" `Quick garray_blocked;
+    Alcotest.test_case "fetch accounting" `Quick fetch_accounting;
+    Alcotest.test_case "remote fraction" `Quick remote_fraction_balances;
+  ]

@@ -1,0 +1,339 @@
+(* dt_lp: simplex and branch-and-bound MILP. *)
+
+open Dt_lp
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let le coeffs rhs = { Simplex.coeffs; cmp = Simplex.Le; rhs }
+let ge coeffs rhs = { Simplex.coeffs; cmp = Simplex.Ge; rhs }
+let eq coeffs rhs = { Simplex.coeffs; cmp = Simplex.Eq; rhs }
+
+let simple_lp () =
+  (* max x + y s.t. x + 2y <= 4, 3x + y <= 6  => minimize -(x+y) *)
+  let p =
+    {
+      Simplex.num_vars = 2;
+      objective = [ (0, -1.0); (1, -1.0) ];
+      constraints = [ le [ (0, 1.0); (1, 2.0) ] 4.0; le [ (0, 3.0); (1, 1.0) ] 6.0 ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal s ->
+      check_float "objective" (-.2.8) s.Simplex.objective_value;
+      check_float "x" 1.6 s.Simplex.values.(0);
+      check_float "y" 1.2 s.Simplex.values.(1)
+  | Simplex.Infeasible | Simplex.Unbounded -> Alcotest.fail "expected optimum"
+
+let equality_lp () =
+  (* min x + y s.t. x + y = 3, x >= 1 *)
+  let p =
+    {
+      Simplex.num_vars = 2;
+      objective = [ (0, 1.0); (1, 1.0) ];
+      constraints = [ eq [ (0, 1.0); (1, 1.0) ] 3.0; ge [ (0, 1.0) ] 1.0 ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal s -> check_float "objective" 3.0 s.Simplex.objective_value
+  | Simplex.Infeasible | Simplex.Unbounded -> Alcotest.fail "expected optimum"
+
+let infeasible_lp () =
+  let p =
+    {
+      Simplex.num_vars = 1;
+      objective = [ (0, 1.0) ];
+      constraints = [ ge [ (0, 1.0) ] 2.0; le [ (0, 1.0) ] 1.0 ];
+    }
+  in
+  Alcotest.(check bool) "infeasible" true (Simplex.solve p = Simplex.Infeasible)
+
+let unbounded_lp () =
+  let p =
+    { Simplex.num_vars = 1; objective = [ (0, -1.0) ]; constraints = [ ge [ (0, 1.0) ] 0.0 ] }
+  in
+  Alcotest.(check bool) "unbounded" true (Simplex.solve p = Simplex.Unbounded)
+
+let negative_rhs_lp () =
+  (* min x s.t. -x <= -2  (i.e. x >= 2) *)
+  let p =
+    { Simplex.num_vars = 1; objective = [ (0, 1.0) ]; constraints = [ le [ (0, -1.0) ] (-2.0) ] }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal s -> check_float "x" 2.0 s.Simplex.values.(0)
+  | Simplex.Infeasible | Simplex.Unbounded -> Alcotest.fail "expected optimum"
+
+let degenerate_lp () =
+  (* duplicated constraints and a zero-cost variable *)
+  let p =
+    {
+      Simplex.num_vars = 2;
+      objective = [ (0, 1.0) ];
+      constraints =
+        [ ge [ (0, 1.0) ] 1.0; ge [ (0, 1.0) ] 1.0; le [ (0, 1.0); (1, 1.0) ] 5.0 ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal s -> check_float "objective" 1.0 s.Simplex.objective_value
+  | Simplex.Infeasible | Simplex.Unbounded -> Alcotest.fail "expected optimum"
+
+let out_of_range () =
+  let p =
+    { Simplex.num_vars = 1; objective = []; constraints = [ le [ (3, 1.0) ] 1.0 ] }
+  in
+  Alcotest.check_raises "index range"
+    (Invalid_argument "Simplex.solve: variable index out of range") (fun () ->
+      ignore (Simplex.solve p))
+
+let knapsack_milp () =
+  (* max 10a + 6b + 4c, a+b+c <= 2, binaries => min -(...) = -16 (a,b) *)
+  let binary j = le [ (j, 1.0) ] 1.0 in
+  let p =
+    {
+      Milp.relaxation =
+        {
+          Simplex.num_vars = 3;
+          objective = [ (0, -10.0); (1, -6.0); (2, -4.0) ];
+          constraints =
+            [ le [ (0, 1.0); (1, 1.0); (2, 1.0) ] 2.0; binary 0; binary 1; binary 2 ];
+        };
+      integer_vars = [ 0; 1; 2 ];
+    }
+  in
+  match (Milp.solve p).Milp.best with
+  | Some s ->
+      check_float "objective" (-16.0) s.Simplex.objective_value;
+      check_float "a" 1.0 s.Simplex.values.(0);
+      check_float "b" 1.0 s.Simplex.values.(1);
+      check_float "c" 0.0 s.Simplex.values.(2)
+  | None -> Alcotest.fail "expected incumbent"
+
+let milp_fractional_forced () =
+  (* min -x, 2x <= 3, x integer => x = 1 (relaxation would give 1.5) *)
+  let p =
+    {
+      Milp.relaxation =
+        {
+          Simplex.num_vars = 1;
+          objective = [ (0, -1.0) ];
+          constraints = [ le [ (0, 2.0) ] 3.0 ];
+        };
+      integer_vars = [ 0 ];
+    }
+  in
+  match (Milp.solve p).Milp.best with
+  | Some s -> check_float "x" 1.0 s.Simplex.values.(0)
+  | None -> Alcotest.fail "expected incumbent"
+
+let milp_infeasible () =
+  let p =
+    {
+      Milp.relaxation =
+        {
+          Simplex.num_vars = 1;
+          objective = [ (0, 1.0) ];
+          constraints = [ ge [ (0, 1.0) ] 2.0; le [ (0, 1.0) ] 1.0 ];
+        };
+      integer_vars = [ 0 ];
+    }
+  in
+  let o = Milp.solve p in
+  Alcotest.(check bool) "infeasible" true (o.Milp.status = Milp.Infeasible)
+
+let milp_node_limit () =
+  (* A feasibility-hard parity-flavoured problem with a tiny node budget
+     still terminates and reports the truncation. *)
+  let n = 8 in
+  let binary j = le [ (j, 1.0) ] 1.0 in
+  let p =
+    {
+      Milp.relaxation =
+        {
+          Simplex.num_vars = n;
+          objective = List.init n (fun j -> (j, 1.0));
+          constraints =
+            eq (List.init n (fun j -> (j, 1.0))) (float_of_int (n / 2))
+            :: List.init n binary;
+        };
+      integer_vars = List.init n (fun j -> j);
+    }
+  in
+  let o = Milp.solve ~node_limit:1 p in
+  Alcotest.(check bool) "truncated or solved at the root" true
+    (o.Milp.status = Milp.Node_limit || o.Milp.status = Milp.Optimal)
+
+(* Random small MILPs: branch and bound agrees with exhaustive enumeration
+   over the binary assignments. *)
+let prop_milp_matches_enumeration =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 4 in
+      let* costs = list_repeat n (int_range (-5) 5) in
+      let* rows = int_range 1 3 in
+      let* coefs = list_repeat rows (list_repeat n (int_range (-3) 3)) in
+      let* rhs = list_repeat rows (int_range 0 6) in
+      return (n, List.map float_of_int costs,
+              List.map (List.map float_of_int) coefs,
+              List.map float_of_int rhs))
+  in
+  let print (n, costs, coefs, rhs) =
+    Format.asprintf "n=%d costs=%a rows=%a rhs=%a" n
+      Fmt.(Dump.list float) costs
+      Fmt.(Dump.list (Dump.list float)) coefs
+      Fmt.(Dump.list float) rhs
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"MILP = exhaustive enumeration" ~print gen
+       (fun (n, costs, coefs, rhs) ->
+         let binary j = le [ (j, 1.0) ] 1.0 in
+         let rows =
+           List.map2 (fun c r -> le (List.mapi (fun j v -> (j, v)) c) r) coefs rhs
+         in
+         let p =
+           {
+             Milp.relaxation =
+               {
+                 Simplex.num_vars = n;
+                 objective = List.mapi (fun j c -> (j, c)) costs;
+                 constraints = rows @ List.init n binary;
+               };
+             integer_vars = List.init n (fun j -> j);
+           }
+         in
+         (* enumerate all 2^n assignments *)
+         let best = ref Float.infinity in
+         for mask = 0 to (1 lsl n) - 1 do
+           let x j = if mask land (1 lsl j) <> 0 then 1.0 else 0.0 in
+           let feasible =
+             List.for_all2
+               (fun c r ->
+                 List.fold_left ( +. ) 0.0 (List.mapi (fun j v -> v *. x j) c) <= r +. 1e-9)
+               coefs rhs
+           in
+           if feasible then begin
+             let obj = List.fold_left ( +. ) 0.0 (List.mapi (fun j c -> c *. x j) costs) in
+             if obj < !best then best := obj
+           end
+         done;
+         match ((Milp.solve p).Milp.best, !best) with
+         | None, b -> b = Float.infinity
+         | Some s, b -> Float.abs (s.Simplex.objective_value -. b) <= 1e-6))
+
+let suite =
+  [
+    Alcotest.test_case "simple LP" `Quick simple_lp;
+    Alcotest.test_case "equality LP" `Quick equality_lp;
+    Alcotest.test_case "infeasible LP" `Quick infeasible_lp;
+    Alcotest.test_case "unbounded LP" `Quick unbounded_lp;
+    Alcotest.test_case "negative rhs" `Quick negative_rhs_lp;
+    Alcotest.test_case "degenerate LP" `Quick degenerate_lp;
+    Alcotest.test_case "index validation" `Quick out_of_range;
+    Alcotest.test_case "knapsack MILP" `Quick knapsack_milp;
+    Alcotest.test_case "forced rounding" `Quick milp_fractional_forced;
+    Alcotest.test_case "infeasible MILP" `Quick milp_infeasible;
+    Alcotest.test_case "node limit" `Quick milp_node_limit;
+    prop_milp_matches_enumeration;
+  ]
+
+(* Independent cross-check: for small LPs with a bounded feasible region,
+   the optimum sits at a vertex, i.e. at the intersection of [n] active
+   constraints. Enumerate all candidate vertices with a tiny Gaussian
+   elimination and compare objectives with the simplex. *)
+let solve_linear_system a b =
+  (* a: n x n, b: n; returns None when singular *)
+  let n = Array.length b in
+  let m = Array.init n (fun i -> Array.append (Array.copy a.(i)) [| b.(i) |]) in
+  let ok = ref true in
+  for col = 0 to n - 1 do
+    (* partial pivoting *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs m.(r).(col) > Float.abs m.(!pivot).(col) then pivot := r
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-9 then ok := false
+    else begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      for r = 0 to n - 1 do
+        if r <> col then begin
+          let f = m.(r).(col) /. m.(col).(col) in
+          for c = col to n do
+            m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+          done
+        end
+      done
+    end
+  done;
+  if not !ok then None
+  else Some (Array.init n (fun i -> m.(i).(n) /. m.(i).(i)))
+
+let rec subsets k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest -> List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+
+let prop_simplex_matches_vertex_enumeration =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 3 in
+      let* rows = int_range 1 3 in
+      let* costs = list_repeat n (int_range (-4) 4) in
+      let* coefs = list_repeat rows (list_repeat n (int_range 0 3)) in
+      let* rhs = list_repeat rows (int_range 1 8) in
+      return (n, List.map float_of_int costs,
+              List.map (List.map float_of_int) coefs, List.map float_of_int rhs))
+  in
+  let print (n, c, a, b) =
+    Format.asprintf "n=%d c=%a a=%a b=%a" n Fmt.(Dump.list float) c
+      Fmt.(Dump.list (Dump.list float)) a Fmt.(Dump.list float) b
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"simplex = vertex enumeration" ~print gen
+       (fun (n, costs, coefs, rhs) ->
+         (* bound the region with x_i <= 10 so it is always a polytope *)
+         let box = List.init n (fun j -> (List.init n (fun k -> if k = j then 1.0 else 0.0), 10.0)) in
+         let all_rows = List.map2 (fun c r -> (c, r)) coefs rhs @ box in
+         let problem =
+           {
+             Simplex.num_vars = n;
+             objective = List.mapi (fun j c -> (j, c)) costs;
+             constraints =
+               List.map (fun (c, r) -> le (List.mapi (fun j v -> (j, v)) c) r) all_rows;
+           }
+         in
+         (* candidate active sets: n constraints drawn from rows + the
+            nonnegativity constraints x_j >= 0 *)
+         let nonneg = List.init n (fun j -> (List.init n (fun k -> if k = j then 1.0 else 0.0), 0.0)) in
+         let candidates = all_rows @ nonneg in
+         let feasible x =
+           List.for_all2 (fun c r ->
+               List.fold_left ( +. ) 0.0 (List.mapi (fun j v -> v *. List.nth x j) c)
+               <= r +. 1e-6)
+             (List.map fst all_rows) (List.map snd all_rows)
+           && List.for_all (fun v -> v >= -1e-6) x
+         in
+         let best = ref Float.infinity in
+         List.iter
+           (fun active ->
+             let a = Array.of_list (List.map (fun (c, _) -> Array.of_list c) active) in
+             let b = Array.of_list (List.map snd active) in
+             match solve_linear_system a b with
+             | None -> ()
+             | Some x ->
+                 let x = Array.to_list x in
+                 if feasible x then begin
+                   let obj =
+                     List.fold_left ( +. ) 0.0 (List.mapi (fun j c -> c *. List.nth x j) costs)
+                   in
+                   if obj < !best then best := obj
+                 end)
+           (subsets n candidates);
+         match Simplex.solve problem with
+         | Simplex.Optimal s -> Float.abs (s.Simplex.objective_value -. !best) <= 1e-6
+         | Simplex.Infeasible | Simplex.Unbounded ->
+             (* the box makes the region bounded and the origin feasible *)
+             QCheck2.Test.fail_reportf "expected an optimum (vertex best %g)" !best))
+
+let suite = suite @ [ prop_simplex_matches_vertex_enumeration ]

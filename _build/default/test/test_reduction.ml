@@ -1,0 +1,91 @@
+(* The 3-PARTITION -> DT reduction of Theorem 2 (Table 1). *)
+
+open Dt_core
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A yes-instance with m = 2: {2,3,7} and {3,4,5} both sum to 12. *)
+let yes = Reduction.threepar [| 2; 3; 7; 3; 4; 5 |]
+let yes_partition = [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ]
+
+let construction () =
+  let i = Reduction.to_instance yes in
+  (* 4m + 1 tasks; b = 12, x = 7, b' = 54; C = 57; L = 114 *)
+  Alcotest.(check int) "task count" 9 (Instance.size i);
+  check_float "capacity" 57.0 i.Instance.capacity;
+  check_float "target" 114.0 (Reduction.target_makespan yes);
+  check_float "sum comm = L" (Reduction.target_makespan yes) (Instance.sum_comm i);
+  check_float "sum comp = L" (Reduction.target_makespan yes) (Instance.sum_comp i);
+  (* separators: K0 has zero comm, Km zero comp, others (b', 3) *)
+  let k0 = Instance.task i 0 and k1 = Instance.task i 1 and k2 = Instance.task i 2 in
+  check_float "K0 comm" 0.0 k0.Task.comm;
+  check_float "K0 comp" 3.0 k0.Task.comp;
+  check_float "K1 comm" 54.0 k1.Task.comm;
+  check_float "K2 comp" 0.0 k2.Task.comp
+
+let validation () =
+  Alcotest.check_raises "not 3m" (Invalid_argument "Reduction.threepar: need 3m > 0 integers")
+    (fun () -> ignore (Reduction.threepar [| 2; 3 |]));
+  Alcotest.check_raises "small values"
+    (Invalid_argument "Reduction.threepar: values must be > 1") (fun () ->
+      ignore (Reduction.threepar [| 1; 2; 3 |]))
+
+let partition_check () =
+  Alcotest.(check bool) "valid partition" true (Reduction.is_valid_partition yes yes_partition);
+  Alcotest.(check bool) "wrong sums" false
+    (Reduction.is_valid_partition yes [ [ 0; 1; 3 ]; [ 2; 4; 5 ] ]);
+  Alcotest.(check bool) "reused index" false
+    (Reduction.is_valid_partition yes [ [ 0; 1; 2 ]; [ 0; 4; 5 ] ])
+
+let schedule_from_partition () =
+  let s = Reduction.schedule_of_partition yes yes_partition in
+  Alcotest.(check bool) "feasible" true (Schedule.check s = Ok ());
+  check_float "makespan = L" (Reduction.target_makespan yes) (Schedule.makespan s);
+  check_float "no idle on link"
+    0.0 (Schedule.comm_idle s);
+  check_float "no idle on processor" 0.0 (Schedule.comp_idle s)
+
+let roundtrip () =
+  let s = Reduction.schedule_of_partition yes yes_partition in
+  match Reduction.partition_of_schedule yes s with
+  | None -> Alcotest.fail "no partition recovered"
+  | Some p -> Alcotest.(check bool) "recovered partition valid" true
+                (Reduction.is_valid_partition yes p)
+
+let heuristics_respect_lower_bound () =
+  (* L equals both the total communication and total computation time, so
+     no schedule of the gadget can beat it. *)
+  let i = Reduction.to_instance yes in
+  let l = Reduction.target_makespan yes in
+  List.iter
+    (fun h ->
+      let s = Heuristic.run h i in
+      Alcotest.(check bool)
+        (Heuristic.name h ^ " >= L")
+        true
+        (Schedule.makespan s >= l -. 1e-9))
+    Heuristic.all
+
+let too_long_schedule_gives_no_partition () =
+  let i = Reduction.to_instance yes in
+  (* the serial schedule is far longer than L *)
+  let serial =
+    Sim.run_order_exn ~capacity:i.Instance.capacity (Instance.task_list i)
+  in
+  Alcotest.(check bool) "longer than L" true
+    (Schedule.makespan serial > Reduction.target_makespan yes +. 1e-9);
+  Alcotest.(check bool) "no partition" true
+    (Reduction.partition_of_schedule yes serial = None)
+
+let suite =
+  [
+    Alcotest.test_case "gadget construction" `Quick construction;
+    Alcotest.test_case "input validation" `Quick validation;
+    Alcotest.test_case "partition validity" `Quick partition_check;
+    Alcotest.test_case "partition -> schedule (Figure 2)" `Quick schedule_from_partition;
+    Alcotest.test_case "schedule -> partition roundtrip" `Quick roundtrip;
+    Alcotest.test_case "heuristics respect the L lower bound" `Quick
+      heuristics_respect_lower_bound;
+    Alcotest.test_case "slow schedule yields no partition" `Quick
+      too_long_schedule_gives_no_partition;
+  ]

@@ -1,0 +1,76 @@
+(* dt_report: tables, Gantt charts and boxplot rendering. *)
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec loop i = i + ln <= lh && (String.sub haystack i ln = needle || loop (i + 1)) in
+  ln = 0 || loop 0
+
+let table_renders () =
+  let s =
+    Dt_report.Table.render ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1.5" ]; [ "b"; "22" ] ]
+  in
+  Alcotest.(check bool) "has header" true (contains s "name");
+  Alcotest.(check bool) "has separator" true (contains s "----");
+  (* numeric column is right-aligned: "22" ends where "1.5" ends *)
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count (header + sep + 2 rows + trailing)" 5 (List.length lines)
+
+let table_validation () =
+  Alcotest.check_raises "ragged row"
+    (Invalid_argument "Table.render: row 0 has 1 cells, expected 2") (fun () ->
+      ignore (Dt_report.Table.render ~header:[ "a"; "b" ] [ [ "x" ] ]))
+
+let table_alignment () =
+  let s =
+    Dt_report.Table.render
+      ~align:[ Dt_report.Table.Left; Dt_report.Table.Right ]
+      ~header:[ "h1"; "h2" ]
+      [ [ "x"; "1" ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let gantt_renders () =
+  let i = Dt_core.Examples.table4 in
+  let sched = Dt_core.Dynamic_rules.run Dt_core.Dynamic_rules.LCMR i in
+  let s = Dt_report.Gantt.render ~width:40 sched in
+  Alcotest.(check bool) "comm lane" true (contains s "comm |");
+  Alcotest.(check bool) "comp lane" true (contains s "comp |");
+  Alcotest.(check bool) "mem lane" true (contains s "mem  |");
+  Alcotest.(check bool) "labels appear" true (contains s "B");
+  Alcotest.(check bool) "makespan shown" true (contains s "makespan=23")
+
+let gantt_empty () =
+  let s = Dt_report.Gantt.render (Dt_core.Schedule.make ~capacity:1.0 []) in
+  Alcotest.(check string) "empty" "(empty schedule)\n" s
+
+let boxplot_row_markers () =
+  let b = Dt_stats.Descriptive.boxplot [| 1.0; 2.0; 3.0; 4.0; 100.0 |] in
+  let row = Dt_report.Boxplot.row ~width:50 ~lo:1.0 ~hi:100.0 b in
+  Alcotest.(check int) "width respected" 50 (String.length row);
+  Alcotest.(check bool) "median marker" true (String.contains row 'M');
+  Alcotest.(check bool) "outlier marker" true (String.contains row 'o');
+  Alcotest.(check bool) "box" true (String.contains row '=')
+
+let boxplot_chart () =
+  let rows =
+    [
+      ("first", Dt_stats.Descriptive.boxplot [| 1.0; 1.2; 1.4 |]);
+      ("second", Dt_stats.Descriptive.boxplot [| 2.0; 2.5; 3.0 |]);
+    ]
+  in
+  let s = Dt_report.Boxplot.chart ~width:40 ~rows () in
+  Alcotest.(check bool) "labels" true (contains s "first" && contains s "second");
+  Alcotest.(check bool) "medians" true (contains s "med=1.200");
+  Alcotest.(check string) "no data" "(no data)\n" (Dt_report.Boxplot.chart ~rows:[] ())
+
+let suite =
+  [
+    Alcotest.test_case "table renders" `Quick table_renders;
+    Alcotest.test_case "table validation" `Quick table_validation;
+    Alcotest.test_case "table alignment" `Quick table_alignment;
+    Alcotest.test_case "gantt renders" `Quick gantt_renders;
+    Alcotest.test_case "gantt empty" `Quick gantt_empty;
+    Alcotest.test_case "boxplot row" `Quick boxplot_row_markers;
+    Alcotest.test_case "boxplot chart" `Quick boxplot_chart;
+  ]

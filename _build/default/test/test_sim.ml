@@ -1,0 +1,160 @@
+(* Tests of the eager executors: unit scenarios plus the structural
+   property that every produced schedule is valid. *)
+
+open Dt_core
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let no_memory_pressure () =
+  (* capacity never binds: classic pipelined behaviour *)
+  let tasks =
+    [ Task.make ~id:0 ~comm:2.0 ~comp:3.0 (); Task.make ~id:1 ~comm:1.0 ~comp:2.0 () ]
+  in
+  let s = Sim.run_order_exn ~capacity:100.0 tasks in
+  check_float "makespan" 7.0 (Schedule.makespan s);
+  Alcotest.(check bool) "valid" true (Schedule.check s = Ok ())
+
+let memory_stalls_link () =
+  (* capacity 3: the second transfer (mem 2) must wait for the first
+     task's computation to finish at t = 5 *)
+  let tasks =
+    [ Task.make ~id:0 ~comm:2.0 ~comp:3.0 (); Task.make ~id:1 ~comm:2.0 ~comp:1.0 () ]
+  in
+  let s = Sim.run_order_exn ~capacity:3.0 tasks in
+  let e2 = List.nth (Schedule.entries s) 1 in
+  check_float "second comm delayed" 5.0 e2.Schedule.s_comm;
+  check_float "makespan" 8.0 (Schedule.makespan s)
+
+let too_big_task () =
+  let tasks = [ Task.make ~id:0 ~comm:5.0 ~comp:1.0 () ] in
+  match Sim.run_order ~capacity:4.0 tasks with
+  | Error t -> Alcotest.(check int) "offending task" 0 t.Task.id
+  | Ok _ -> Alcotest.fail "expected capacity error"
+
+let state_roundtrip () =
+  let st = Sim.initial_state () in
+  ignore (Sim.schedule_task st ~capacity:10.0 (Task.make ~id:0 ~comm:2.0 ~comp:3.0 ()));
+  let link_free, cpu_free, held = Sim.dump_state st in
+  let st' = Sim.restore_state ~link_free ~cpu_free ~held in
+  check_float "link" (Sim.link_free_time st) (Sim.link_free_time st');
+  check_float "cpu" (Sim.cpu_free_time st) (Sim.cpu_free_time st');
+  check_float "mem" (Sim.memory_in_use st) (Sim.memory_in_use st')
+
+let fits_now_processes_releases () =
+  let st = Sim.initial_state () in
+  let t0 = Task.make ~id:0 ~comm:2.0 ~comp:1.0 () in
+  ignore (Sim.schedule_task st ~capacity:3.0 t0);
+  (* link free at 2; t0 computes in [2, 3) holding 2. A task of memory 2
+     does not fit at t = 2. *)
+  Alcotest.(check bool) "does not fit during computation" false
+    (Sim.fits_now st ~capacity:3.0 2.0);
+  Alcotest.(check bool) "advance" true (Sim.advance_to_next_release st);
+  Alcotest.(check bool) "fits after release" true (Sim.fits_now st ~capacity:3.0 2.0);
+  check_float "link moved to release" 3.0 (Sim.link_free_time st)
+
+let dual_matches_single_when_same_orders () =
+  let tasks =
+    [
+      Task.make ~id:0 ~comm:2.0 ~comp:3.0 ();
+      Task.make ~id:1 ~comm:4.0 ~comp:1.0 ();
+      Task.make ~id:2 ~comm:1.0 ~comp:2.0 ();
+    ]
+  in
+  let single = Sim.run_order_exn ~capacity:5.0 tasks in
+  match Sim.run_two_orders ~capacity:5.0 ~comm_order:tasks tasks with
+  | Ok dual ->
+      check_float "same makespan" (Schedule.makespan single) (Schedule.makespan dual)
+  | Error _ -> Alcotest.fail "dual-order run failed"
+
+let dual_detects_deadlock () =
+  (* capacity 3: t0 (mem 3) holds everything; t1's transfer cannot start,
+     yet t1 computes first in the computation order: deadlock. *)
+  let t0 = Task.make ~id:0 ~comm:2.0 ~comp:1.0 ~mem:3.0 ()
+  and t1 = Task.make ~id:1 ~comm:1.0 ~comp:1.0 ~mem:1.0 () in
+  match Sim.run_two_orders ~capacity:3.0 ~comm_order:[ t0; t1 ] [ t1; t0 ] with
+  | Error (Sim.Deadlock t) -> Alcotest.(check int) "stuck task" 1 t.Task.id
+  | Error (Sim.Too_big _) -> Alcotest.fail "unexpected Too_big"
+  | Ok _ -> Alcotest.fail "expected deadlock"
+
+let prop_run_order_valid =
+  Generators.prop_test ~name:"run_order produces valid schedules"
+    (Generators.instance_gen ~max_size:10 ())
+    (fun instance ->
+      let s =
+        Sim.run_order_exn ~capacity:instance.Instance.capacity (Instance.task_list instance)
+      in
+      Generators.check_feasible "run_order" instance s
+      && Schedule.size s = Instance.size instance)
+
+let prop_dual_order_valid =
+  Generators.prop_test ~name:"run_two_orders produces valid schedules"
+    (Generators.instance_gen ~max_size:7 ())
+    (fun instance ->
+      let tasks = Instance.task_list instance in
+      let rev = List.rev tasks in
+      match Sim.run_two_orders ~capacity:instance.Instance.capacity ~comm_order:tasks rev with
+      | Ok s -> Generators.check_feasible "run_two_orders" instance s
+      | Error (Sim.Deadlock _) -> true (* legitimate for adversarial order pairs *)
+      | Error (Sim.Too_big _) -> QCheck2.Test.fail_reportf "unexpected Too_big")
+
+let prop_capacity_relaxation_never_hurts =
+  Generators.prop_test ~name:"larger capacity never increases run_order makespan"
+    (Generators.instance_gen ~max_size:10 ())
+    (fun instance ->
+      let tasks = Instance.task_list instance in
+      let tight = Sim.run_order_exn ~capacity:instance.Instance.capacity tasks in
+      let loose = Sim.run_order_exn ~capacity:(2.0 *. instance.Instance.capacity) tasks in
+      Schedule.makespan loose <= Schedule.makespan tight +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "no memory pressure" `Quick no_memory_pressure;
+    Alcotest.test_case "memory stalls the link" `Quick memory_stalls_link;
+    Alcotest.test_case "oversized task rejected" `Quick too_big_task;
+    Alcotest.test_case "state dump/restore" `Quick state_roundtrip;
+    Alcotest.test_case "fits_now and releases" `Quick fits_now_processes_releases;
+    Alcotest.test_case "dual = single on equal orders" `Quick dual_matches_single_when_same_orders;
+    Alcotest.test_case "dual-order deadlock" `Quick dual_detects_deadlock;
+    prop_run_order_valid;
+    prop_dual_order_valid;
+    prop_capacity_relaxation_never_hurts;
+  ]
+
+let copied_state_is_independent () =
+  let st = Sim.initial_state () in
+  ignore (Sim.schedule_task st ~capacity:10.0 (Task.make ~id:0 ~comm:2.0 ~comp:3.0 ()));
+  let snapshot = Sim.copy_state st in
+  ignore (Sim.schedule_task st ~capacity:10.0 (Task.make ~id:1 ~comm:1.0 ~comp:1.0 ()));
+  (* mutating the original must not affect the copy *)
+  check_float "copy link time" 2.0 (Sim.link_free_time snapshot);
+  check_float "copy cpu time" 5.0 (Sim.cpu_free_time snapshot);
+  check_float "original advanced" 3.0 (Sim.link_free_time st)
+
+let lp_boundary_respects_held_memory () =
+  (* one unfinished task holds 4 units until t = 10 under capacity 5: the
+     next chunk's first transfer of memory 3 cannot start before 10 —
+     whether the MILP returns a schedule or defers to the (identical)
+     eager incumbent *)
+  let boundary =
+    { Lp_schedule.link_free = 2.0; cpu_free = 2.0; held = [ (10.0, 4.0) ] }
+  in
+  let chunk = [ Task.make ~id:0 ~comm:3.0 ~comp:1.0 () ] in
+  (match Lp_schedule.solve_chunk ~boundary ~capacity:5.0 chunk with
+  | None -> () (* nothing beats the eager incumbent: fine *)
+  | Some [ e ] ->
+      Alcotest.(check bool) "waits for the release" true (e.Schedule.s_comm >= 10.0 -. 1e-6)
+  | Some _ -> Alcotest.fail "one entry expected");
+  let instance = Instance.make_keep_ids ~capacity:5.0 chunk in
+  let sched = Lp_schedule.run ~boundary ~k:3 instance in
+  match Schedule.entries sched with
+  | [ e ] ->
+      Alcotest.(check bool) "run waits for the release" true
+        (e.Schedule.s_comm >= 10.0 -. 1e-6)
+  | _ -> Alcotest.fail "one entry expected"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "copied state is independent" `Quick copied_state_is_independent;
+      Alcotest.test_case "lp boundary holds memory" `Quick lp_boundary_respects_held_memory;
+    ]

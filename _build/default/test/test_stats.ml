@@ -1,0 +1,96 @@
+(* dt_stats: RNG determinism and descriptive statistics. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let rng_deterministic () =
+  let a = Dt_stats.Rng.create 42 and b = Dt_stats.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Dt_stats.Rng.bits64 a) (Dt_stats.Rng.bits64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Dt_stats.Rng.create 1 and b = Dt_stats.Rng.create 2 in
+  Alcotest.(check bool) "different streams" true
+    (Dt_stats.Rng.bits64 a <> Dt_stats.Rng.bits64 b)
+
+let rng_split_independent () =
+  let a = Dt_stats.Rng.create 7 in
+  let c = Dt_stats.Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true
+    (Dt_stats.Rng.bits64 a <> Dt_stats.Rng.bits64 c)
+
+let rng_ranges () =
+  let r = Dt_stats.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let i = Dt_stats.Rng.int r 10 in
+    Alcotest.(check bool) "int in range" true (i >= 0 && i < 10);
+    let f = Dt_stats.Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5);
+    let u = Dt_stats.Rng.uniform r 3.0 5.0 in
+    Alcotest.(check bool) "uniform in range" true (u >= 3.0 && u < 5.0);
+    let e = Dt_stats.Rng.exponential r ~rate:2.0 in
+    Alcotest.(check bool) "exponential nonnegative" true (e >= 0.0);
+    let l = Dt_stats.Rng.lognormal r ~mu:0.0 ~sigma:1.0 in
+    Alcotest.(check bool) "lognormal positive" true (l > 0.0)
+  done
+
+let rng_gaussian_moments () =
+  let r = Dt_stats.Rng.create 11 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Dt_stats.Rng.gaussian r ~mean:5.0 ~stddev:2.0) in
+  let mean = Dt_stats.Descriptive.mean xs and sd = Dt_stats.Descriptive.stddev xs in
+  Alcotest.(check bool) "mean close" true (Float.abs (mean -. 5.0) < 0.1);
+  Alcotest.(check bool) "stddev close" true (Float.abs (sd -. 2.0) < 0.1)
+
+let rng_shuffle_is_permutation () =
+  let r = Dt_stats.Rng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Dt_stats.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 50 (fun i -> i))
+
+let descriptive_basics () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "mean" 2.5 (Dt_stats.Descriptive.mean xs);
+  check_float "median" 2.5 (Dt_stats.Descriptive.median xs);
+  check_float "p0" 1.0 (Dt_stats.Descriptive.percentile xs 0.0);
+  check_float "p100" 4.0 (Dt_stats.Descriptive.percentile xs 100.0);
+  check_float "p25 (type 7)" 1.75 (Dt_stats.Descriptive.percentile xs 25.0)
+
+let boxplot_with_outlier () =
+  let xs = [| 1.0; 1.1; 1.2; 1.3; 1.4; 1.5; 10.0 |] in
+  let b = Dt_stats.Descriptive.boxplot xs in
+  check_float "min" 1.0 b.Dt_stats.Descriptive.minimum;
+  check_float "max" 10.0 b.Dt_stats.Descriptive.maximum;
+  Alcotest.(check int) "count" 7 b.Dt_stats.Descriptive.count;
+  Alcotest.(check int) "one outlier" 1 (List.length b.Dt_stats.Descriptive.outliers);
+  Alcotest.(check bool) "whisker below outlier" true
+    (b.Dt_stats.Descriptive.whisker_high < 10.0)
+
+let boxplot_singleton () =
+  let b = Dt_stats.Descriptive.boxplot [| 2.0 |] in
+  check_float "median" 2.0 b.Dt_stats.Descriptive.median;
+  check_float "whiskers" 2.0 b.Dt_stats.Descriptive.whisker_low;
+  Alcotest.(check int) "no outliers" 0 (List.length b.Dt_stats.Descriptive.outliers)
+
+let histogram_counts () =
+  let xs = [| 0.0; 0.1; 0.9; 1.0; 1.9; 2.0 |] in
+  let h = Dt_stats.Descriptive.histogram xs ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "total count" 6 total
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick rng_seed_sensitivity;
+    Alcotest.test_case "rng split" `Quick rng_split_independent;
+    Alcotest.test_case "rng ranges" `Quick rng_ranges;
+    Alcotest.test_case "gaussian moments" `Quick rng_gaussian_moments;
+    Alcotest.test_case "shuffle permutes" `Quick rng_shuffle_is_permutation;
+    Alcotest.test_case "descriptive basics" `Quick descriptive_basics;
+    Alcotest.test_case "boxplot with outlier" `Quick boxplot_with_outlier;
+    Alcotest.test_case "boxplot singleton" `Quick boxplot_singleton;
+    Alcotest.test_case "histogram" `Quick histogram_counts;
+  ]

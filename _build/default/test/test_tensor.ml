@@ -1,0 +1,229 @@
+(* dt_tensor: shapes, dense tensors, transpose/contraction, tilings and
+   the Jacobi eigensolver. *)
+
+open Dt_tensor
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let shape_basics () =
+  let s = Shape.of_list [ 2; 3; 4 ] in
+  Alcotest.(check int) "rank" 3 (Shape.rank s);
+  Alcotest.(check int) "size" 24 (Shape.size s);
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides s);
+  Alcotest.(check int) "linear" 23 (Shape.linear_index s [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "multi" [| 1; 2; 3 |] (Shape.multi_index s 23);
+  Alcotest.check_raises "nonpositive" (Invalid_argument "Shape: nonpositive dimension")
+    (fun () -> ignore (Shape.of_list [ 2; 0 ]));
+  Alcotest.check_raises "oob" (Invalid_argument "Shape.linear_index: index out of bounds")
+    (fun () -> ignore (Shape.linear_index s [| 1; 3; 0 |]))
+
+let shape_permute () =
+  let s = Shape.of_list [ 2; 3; 4 ] in
+  Alcotest.(check (array int)) "permuted" [| 4; 2; 3 |] (Shape.dims (Shape.permute s [| 2; 0; 1 |]));
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Shape.permute: not a permutation of the axes") (fun () ->
+      ignore (Shape.permute s [| 0; 0; 1 |]))
+
+let dense_roundtrip () =
+  let s = Shape.of_list [ 3; 2 ] in
+  let t = Dense.init s (fun idx -> float_of_int ((10 * idx.(0)) + idx.(1))) in
+  check_float "get" 21.0 (Dense.get t [| 2; 1 |]);
+  Dense.set t [| 0; 0 |] 5.0;
+  check_float "set" 5.0 (Dense.get t [| 0; 0 |]);
+  Alcotest.(check int) "bytes" 48 (Dense.bytes t)
+
+let dense_arithmetic () =
+  let s = Shape.of_list [ 2; 2 ] in
+  let a = Dense.of_array s [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Dense.of_array s [| 4.0; 3.0; 2.0; 1.0 |] in
+  check_float "dot" 20.0 (Dense.dot a b);
+  check_float "norm2" (sqrt 30.0) (Dense.norm2 a);
+  check_float "add" 5.0 (Dense.get (Dense.add a b) [| 0; 0 |]);
+  check_float "sub" (-3.0) (Dense.get (Dense.sub a b) [| 0; 0 |]);
+  check_float "scale" 8.0 (Dense.get (Dense.scale 2.0 b) [| 0; 0 |]);
+  check_float "max diff" 3.0 (Dense.max_abs_diff a b);
+  Alcotest.(check bool) "equal with eps" true (Dense.equal ~eps:3.0 a b);
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Dense.map2: shape mismatch")
+    (fun () -> ignore (Dense.add a (Dense.create (Shape.of_list [ 3 ]) 0.0)))
+
+let transpose_matches_definition () =
+  let s = Shape.of_list [ 2; 3; 4 ] in
+  let t = Dense.init s (fun idx -> float_of_int ((100 * idx.(0)) + (10 * idx.(1)) + idx.(2))) in
+  let p = Ops.transpose t [| 2; 0; 1 |] in
+  Alcotest.(check (array int)) "shape" [| 4; 2; 3 |] (Shape.dims (Dense.shape p));
+  (* result.(i, j, k) = t.(j, k, i) since axis 0 of result is axis 2 of t *)
+  check_float "element" (Dense.get t [| 1; 2; 3 |]) (Dense.get p [| 3; 1; 2 |])
+
+let transpose_involution () =
+  let rng = Dt_stats.Rng.create 5 in
+  let t = Dense.random rng (Shape.of_list [ 3; 4; 5 ]) in
+  let back = Ops.transpose (Ops.transpose t [| 1; 2; 0 |]) [| 2; 0; 1 |] in
+  Alcotest.(check bool) "roundtrip" true (Dense.equal t back)
+
+let matmul_reference () =
+  let a = Dense.of_array (Shape.of_list [ 2; 3 ]) [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let b = Dense.of_array (Shape.of_list [ 3; 2 ]) [| 7.; 8.; 9.; 10.; 11.; 12. |] in
+  let c = Ops.matmul a b in
+  check_float "c00" 58.0 (Dense.get c [| 0; 0 |]);
+  check_float "c01" 64.0 (Dense.get c [| 0; 1 |]);
+  check_float "c10" 139.0 (Dense.get c [| 1; 0 |]);
+  check_float "c11" 154.0 (Dense.get c [| 1; 1 |])
+
+(* contraction against an independent naive reference on random tensors *)
+let naive_contract a b ~axes =
+  let da = Shape.dims (Dense.shape a) and db = Shape.dims (Dense.shape b) in
+  let in_a = List.map fst axes and in_b = List.map snd axes in
+  let free_a = List.filter (fun i -> not (List.mem i in_a)) (List.init (Array.length da) Fun.id) in
+  let free_b = List.filter (fun j -> not (List.mem j in_b)) (List.init (Array.length db) Fun.id) in
+  let out_shape =
+    Shape.of_list (List.map (fun i -> da.(i)) free_a @ List.map (fun j -> db.(j)) free_b)
+  in
+  Dense.init out_shape (fun out_idx ->
+      let acc = ref 0.0 in
+      let nfa = List.length free_a in
+      let rec loop cidx = function
+        | [] ->
+            let ia = Array.make (Array.length da) 0 and ib = Array.make (Array.length db) 0 in
+            List.iteri (fun pos i -> ia.(i) <- out_idx.(pos)) free_a;
+            List.iteri (fun pos j -> ib.(j) <- out_idx.(nfa + pos)) free_b;
+            List.iteri
+              (fun pos (i, j) ->
+                ia.(i) <- List.nth (List.rev cidx) pos;
+                ib.(j) <- List.nth (List.rev cidx) pos)
+              axes;
+            acc := !acc +. (Dense.get a ia *. Dense.get b ib)
+        | (i, _) :: rest ->
+            for v = 0 to da.(i) - 1 do
+              loop (v :: cidx) rest
+            done
+      in
+      loop [] axes;
+      !acc)
+
+let contract_random () =
+  let rng = Dt_stats.Rng.create 77 in
+  let a = Dense.random rng (Shape.of_list [ 3; 4; 2 ]) in
+  let b = Dense.random rng (Shape.of_list [ 4; 5; 2 ]) in
+  let axes = [ (1, 0); (2, 2) ] in
+  let fast = Ops.contract a b ~axes and slow = naive_contract a b ~axes in
+  Alcotest.(check bool) "matches naive" true (Dense.equal ~eps:1e-10 fast slow);
+  check_float "flops" (2.0 *. (3.0 *. 5.0) *. (4.0 *. 2.0)) (Ops.contract_flops a b ~axes)
+
+let contract_validation () =
+  let a = Dense.create (Shape.of_list [ 2; 3 ]) 1.0 in
+  let b = Dense.create (Shape.of_list [ 4 ]) 1.0 in
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Ops.contract: contracted dimensions differ") (fun () ->
+      ignore (Ops.contract a b ~axes:[ (0, 0) ]));
+  Alcotest.check_raises "repeated axis" (Invalid_argument "Ops.contract: repeated axis")
+    (fun () ->
+      ignore
+        (Ops.contract a
+           (Dense.create (Shape.of_list [ 2; 2 ]) 1.0)
+           ~axes:[ (0, 0); (0, 1) ]))
+
+let trace_and_identity () =
+  let i3 = Ops.identity 3 in
+  check_float "trace" 3.0 (Ops.trace i3);
+  let a = Dense.of_array (Shape.of_list [ 2; 2 ]) [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check bool) "I a = a" true (Dense.equal (Ops.matmul (Ops.identity 2) a) a)
+
+let tile_uniform () =
+  let tiles = Tile.uniform ~dim:10 ~tile:4 in
+  Alcotest.(check int) "count" 3 (List.length tiles);
+  Alcotest.(check int) "total" 10 (Tile.total tiles);
+  let last = List.nth tiles 2 in
+  Alcotest.(check int) "ragged tail" 2 last.Tile.length
+
+let tile_grid_extract_insert () =
+  let t = Dense.init (Shape.of_list [ 4; 6 ]) (fun i -> float_of_int ((10 * i.(0)) + i.(1))) in
+  let grid = Tile.grid [ Tile.uniform ~dim:4 ~tile:2; Tile.uniform ~dim:6 ~tile:3 ] in
+  Alcotest.(check int) "grid tiles" 4 (List.length grid);
+  let total = List.fold_left (fun acc tl -> acc + Tile.tile_size tl) 0 grid in
+  Alcotest.(check int) "partition" 24 total;
+  let tl = List.nth grid 3 in
+  let piece = Tile.extract t tl in
+  check_float "corner element" 23.0 (Dense.get piece [| 0; 0 |]);
+  let dst = Dense.create (Shape.of_list [ 4; 6 ]) 0.0 in
+  List.iter (fun tl -> Tile.insert dst tl (Tile.extract t tl)) grid;
+  Alcotest.(check bool) "reassembled" true (Dense.equal t dst)
+
+let tile_heterogeneous () =
+  let tiles = Tile.of_lengths [ 3; 1; 5 ] in
+  Alcotest.(check int) "total" 9 (Tile.total tiles);
+  let offs = List.map (fun r -> r.Tile.offset) tiles in
+  Alcotest.(check (list int)) "offsets" [ 0; 3; 4 ] offs;
+  Alcotest.check_raises "nonpositive" (Invalid_argument "Tile.of_lengths: nonpositive length")
+    (fun () -> ignore (Tile.of_lengths [ 2; 0 ]))
+
+let jacobi_eigh () =
+  (* known spectrum: [[2,1],[1,2]] -> 1, 3 *)
+  let m = Dense.of_array (Shape.of_list [ 2; 2 ]) [| 2.; 1.; 1.; 2. |] in
+  let values, vectors = Linalg.eigh m in
+  check_float "l1" 1.0 values.(0);
+  check_float "l2" 3.0 values.(1);
+  (* vectors reconstruct the matrix: V diag V^T *)
+  let d =
+    Dense.init (Shape.of_list [ 2; 2 ]) (fun i ->
+        if i.(0) = i.(1) then values.(i.(0)) else 0.0)
+  in
+  let rebuilt = Ops.matmul (Ops.matmul vectors d) (Ops.transpose vectors [| 1; 0 |]) in
+  Alcotest.(check bool) "reconstruction" true (Dense.equal ~eps:1e-9 m rebuilt)
+
+let jacobi_random_reconstruction () =
+  let rng = Dt_stats.Rng.create 9 in
+  for _ = 1 to 20 do
+    let n = 2 + Dt_stats.Rng.int rng 6 in
+    let raw = Dense.random rng (Shape.of_list [ n; n ]) in
+    let m =
+      Dense.init (Shape.of_list [ n; n ]) (fun i ->
+          0.5 *. (Dense.get raw [| i.(0); i.(1) |] +. Dense.get raw [| i.(1); i.(0) |]))
+    in
+    let values, vectors = Linalg.eigh m in
+    (* ascending *)
+    Array.iteri (fun i v -> if i > 0 then assert (v >= values.(i - 1) -. 1e-12)) values;
+    let d =
+      Dense.init (Shape.of_list [ n; n ]) (fun i ->
+          if i.(0) = i.(1) then values.(i.(0)) else 0.0)
+    in
+    let rebuilt = Ops.matmul (Ops.matmul vectors d) (Ops.transpose vectors [| 1; 0 |]) in
+    if not (Dense.equal ~eps:1e-8 m rebuilt) then Alcotest.fail "reconstruction failed"
+  done
+
+let inverse_sqrt_works () =
+  let m = Dense.of_array (Shape.of_list [ 2; 2 ]) [| 2.; 1.; 1.; 2. |] in
+  let x = Linalg.inverse_sqrt m in
+  (* X m X = I *)
+  let should_be_i = Ops.matmul (Ops.matmul x m) x in
+  Alcotest.(check bool) "X m X = I" true (Dense.equal ~eps:1e-9 should_be_i (Ops.identity 2));
+  let not_pd = Dense.of_array (Shape.of_list [ 2; 2 ]) [| 1.; 2.; 2.; 1. |] in
+  Alcotest.check_raises "not positive definite"
+    (Invalid_argument "Linalg.inverse_sqrt: matrix not positive definite") (fun () ->
+      ignore (Linalg.inverse_sqrt not_pd))
+
+let lower_triangular_solve () =
+  let l = Dense.of_array (Shape.of_list [ 2; 2 ]) [| 2.; 0.; 1.; 3. |] in
+  let x = Linalg.solve_lower_triangular l [| 4.0; 11.0 |] in
+  check_float "x0" 2.0 x.(0);
+  check_float "x1" 3.0 x.(1)
+
+let suite =
+  [
+    Alcotest.test_case "shape basics" `Quick shape_basics;
+    Alcotest.test_case "shape permute" `Quick shape_permute;
+    Alcotest.test_case "dense roundtrip" `Quick dense_roundtrip;
+    Alcotest.test_case "dense arithmetic" `Quick dense_arithmetic;
+    Alcotest.test_case "transpose definition" `Quick transpose_matches_definition;
+    Alcotest.test_case "transpose involution" `Quick transpose_involution;
+    Alcotest.test_case "matmul reference" `Quick matmul_reference;
+    Alcotest.test_case "contraction vs naive" `Quick contract_random;
+    Alcotest.test_case "contraction validation" `Quick contract_validation;
+    Alcotest.test_case "trace and identity" `Quick trace_and_identity;
+    Alcotest.test_case "uniform tiling" `Quick tile_uniform;
+    Alcotest.test_case "tile grid extract/insert" `Quick tile_grid_extract_insert;
+    Alcotest.test_case "heterogeneous tiling" `Quick tile_heterogeneous;
+    Alcotest.test_case "jacobi 2x2" `Quick jacobi_eigh;
+    Alcotest.test_case "jacobi reconstruction" `Quick jacobi_random_reconstruction;
+    Alcotest.test_case "inverse sqrt" `Quick inverse_sqrt_works;
+    Alcotest.test_case "triangular solve" `Quick lower_triangular_solve;
+  ]

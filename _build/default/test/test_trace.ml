@@ -1,0 +1,104 @@
+(* dt_trace: file format roundtrips and workload characteristics. *)
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let sample_tasks =
+  [
+    Dt_core.Task.make ~id:0 ~label:"alpha" ~comm:1.5 ~comp:2.25 ();
+    Dt_core.Task.make ~id:1 ~label:"beta" ~comm:0.125 ~comp:0.0 ~mem:7.5 ();
+    Dt_core.Task.make ~id:2 ~label:"gamma" ~comm:3.0 ~comp:1.0 ();
+  ]
+
+let roundtrip_memory () =
+  let t = Dt_trace.Trace.make ~name:"unit" sample_tasks in
+  let buf = Filename.temp_file "dtsched" ".trace" in
+  let oc = open_out buf in
+  Dt_trace.Trace.write oc t;
+  close_out oc;
+  let t' = Dt_trace.Trace.load buf in
+  Sys.remove buf;
+  Alcotest.(check string) "name" "unit" t'.Dt_trace.Trace.name;
+  Alcotest.(check bool) "tasks preserved" true
+    (List.for_all2 Dt_core.Task.equal t.Dt_trace.Trace.tasks t'.Dt_trace.Trace.tasks)
+
+let bad_streams () =
+  let parse s =
+    let path = Filename.temp_file "dtsched" ".trace" in
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc;
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () -> Dt_trace.Trace.load path)
+  in
+  Alcotest.check_raises "empty" (Failure "Trace.read: empty stream") (fun () ->
+      ignore (parse ""));
+  Alcotest.check_raises "bad header" (Failure "Trace.read: bad header") (fun () ->
+      ignore (parse "nonsense\n"));
+  Alcotest.check_raises "bad record" (Failure "Trace.read: bad record") (fun () ->
+      ignore (parse "# dtsched-trace v1 x\n1\t2\n"));
+  Alcotest.check_raises "bad number" (Failure "Trace.read: bad number") (fun () ->
+      ignore (parse "# dtsched-trace v1 x\n0\tt\tabc\t1\t1\n"))
+
+let set_roundtrip () =
+  let dir = Filename.temp_file "dtsched" "" in
+  Sys.remove dir;
+  let lists = [| sample_tasks; List.tl sample_tasks |] in
+  let set = Dt_trace.Trace.of_task_lists ~prefix:"unit" lists in
+  let paths = Dt_trace.Trace.save_set ~dir ~prefix:"unit" set in
+  Alcotest.(check int) "two files" 2 (List.length paths);
+  let back = Dt_trace.Trace.load_set ~dir ~prefix:"unit" in
+  List.iter Sys.remove paths;
+  Sys.rmdir dir;
+  Alcotest.(check int) "two traces" 2 (Array.length back);
+  Alcotest.(check string) "order by process" "unit-p000" back.(0).Dt_trace.Trace.name
+
+let instance_and_mc () =
+  let t = Dt_trace.Trace.make ~name:"unit" sample_tasks in
+  check_float "m_c" 7.5 (Dt_trace.Trace.min_capacity t);
+  let i = Dt_trace.Trace.to_instance t ~capacity:8.0 in
+  Alcotest.(check int) "keeps ids" 2
+    (List.nth (Dt_core.Instance.task_list i) 2).Dt_core.Task.id
+
+let workchar_consistency () =
+  let t = Dt_trace.Trace.make ~name:"unit" sample_tasks in
+  let c = Dt_trace.Workchar.of_trace t in
+  check_float "sum comm" 4.625 c.Dt_trace.Workchar.sum_comm;
+  check_float "sum comp" 3.25 c.Dt_trace.Workchar.sum_comp;
+  Alcotest.(check bool) "norms at most 1" true
+    (c.Dt_trace.Workchar.norm_comm <= 1.0 +. 1e-12
+    && c.Dt_trace.Workchar.norm_comp <= 1.0 +. 1e-12);
+  check_float "max + consistency" c.Dt_trace.Workchar.norm_sum
+    (c.Dt_trace.Workchar.norm_comm +. c.Dt_trace.Workchar.norm_comp);
+  let f = Dt_trace.Workchar.max_overlap_fraction c in
+  Alcotest.(check bool) "overlap fraction in [0, 0.5]" true (f >= 0.0 && f <= 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "write/read roundtrip" `Quick roundtrip_memory;
+    Alcotest.test_case "malformed streams" `Quick bad_streams;
+    Alcotest.test_case "set save/load" `Quick set_roundtrip;
+    Alcotest.test_case "instance and m_c" `Quick instance_and_mc;
+    Alcotest.test_case "workload characteristics" `Quick workchar_consistency;
+  ]
+
+let set_roundtrip_preserves_tasks () =
+  let dir = Filename.temp_file "dtsched" "" in
+  Sys.remove dir;
+  let lists = [| sample_tasks; List.tl sample_tasks |] in
+  let set = Dt_trace.Trace.of_task_lists ~prefix:"deep" lists in
+  let paths = Dt_trace.Trace.save_set ~dir ~prefix:"deep" set in
+  let back = Dt_trace.Trace.load_set ~dir ~prefix:"deep" in
+  List.iter Sys.remove paths;
+  Sys.rmdir dir;
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace %d tasks equal" i)
+        true
+        (List.for_all2 Dt_core.Task.equal t.Dt_trace.Trace.tasks
+           back.(i).Dt_trace.Trace.tasks))
+    set
+
+let suite =
+  suite @ [ Alcotest.test_case "set roundtrip preserves tasks" `Quick set_roundtrip_preserves_tasks ]
