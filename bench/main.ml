@@ -30,6 +30,7 @@ let experiments =
     ("advisor", Extensions_bench.advisor);
     ("robustness", Extensions_bench.robustness);
     ("micro", Micro.run);
+    ("scaling", Scaling.run);
   ]
 
 let () =

@@ -32,9 +32,34 @@ let representatives =
       Corrected Dt_core.Corrected_rules.OOSCMR;
     ]
 
+(* Simulator and polishing hot paths, benchmarked directly: the dual-order
+   executor backs the exact solver and the MILP decoder, and the adjacent-swap
+   local search re-simulates orders in its inner loop. *)
+let test_two_orders =
+  Test.make_indexed ~name:"sim/two-orders" ~args:[ 200; 800; 2000 ] (fun n ->
+      let instance = instance_of_size n in
+      let tasks = Dt_core.Instance.task_list instance in
+      let capacity = instance.Dt_core.Instance.capacity in
+      Staged.stage (fun () ->
+          match Dt_core.Sim.run_two_orders ~capacity ~comm_order:tasks tasks with
+          | Ok _ -> ()
+          | Error _ -> assert false))
+
+let test_local_search =
+  Test.make_indexed ~name:"search/improve" ~args:[ 20; 60; 150 ] (fun n ->
+      let instance = instance_of_size n in
+      let tasks = Dt_core.Instance.task_list instance in
+      let capacity = instance.Dt_core.Instance.capacity in
+      Staged.stage (fun () ->
+          ignore (Dt_core.Local_search.improve ~max_rounds:2 ~capacity tasks)))
+
 let run () =
   Printf.printf "\n== micro: heuristic scheduling cost (bechamel) ==\n\n";
-  let tests = Test.make_grouped ~name:"heuristics" (List.map test_of_heuristic representatives) in
+  let tests =
+    Test.make_grouped ~name:"heuristics"
+      (List.map test_of_heuristic representatives
+      @ [ test_two_orders; test_local_search ])
+  in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols =

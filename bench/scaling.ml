@@ -1,0 +1,114 @@
+(* Fleet scaling experiment: the whole-application portfolio run (one
+   independent scheduler per process trace, every candidate heuristic
+   tried on each — the paper's 150-process evaluation driven by the Auto
+   runtime) executed sequentially and on domain pools of growing size.
+
+   Emits BENCH_fleet.json with machine-readable wall-clock numbers so the
+   perf trajectory is tracked from PR to PR.  The JSON records the host's
+   recommended domain count: on a single-core container every pool size
+   necessarily measures ~1x, and the file says so rather than hiding it. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run () =
+  Printf.printf "\n== scaling: fleet wall-clock vs domain count ==\n\n";
+  let traces = Lazy.force Data.hf_traces in
+  let policy = Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all in
+  let seq, seq_wall = wall (fun () -> Dt_trace.Fleet.run policy traces) in
+  let recommended = Domain.recommended_domain_count () in
+  let domain_counts =
+    List.sort_uniq Int.compare [ 1; 2; 4; max 1 (recommended - 1) ]
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        let outcome, wall_s =
+          Dt_par.Pool.with_pool ~num_domains:domains (fun pool ->
+              wall (fun () -> Dt_trace.Fleet.run ~pool policy traces))
+        in
+        let identical =
+          outcome.Dt_trace.Fleet.application_makespan
+          = seq.Dt_trace.Fleet.application_makespan
+          && outcome.Dt_trace.Fleet.mean_ratio = seq.Dt_trace.Fleet.mean_ratio
+          && Array.for_all2
+               (fun (a : Dt_trace.Fleet.process_outcome)
+                    (b : Dt_trace.Fleet.process_outcome) ->
+                 a.Dt_trace.Fleet.makespan = b.Dt_trace.Fleet.makespan
+                 && Dt_core.Heuristic.name a.Dt_trace.Fleet.chosen
+                    = Dt_core.Heuristic.name b.Dt_trace.Fleet.chosen)
+               outcome.Dt_trace.Fleet.processes seq.Dt_trace.Fleet.processes
+        in
+        (domains, wall_s, seq_wall /. wall_s, identical))
+      domain_counts
+  in
+  Dt_report.Table.print
+    ~header:[ "configuration"; "wall clock"; "speedup"; "identical results" ]
+    (( [ "sequential"; Printf.sprintf "%.3f s" seq_wall; "1.00x"; "-" ] )
+    :: List.map
+         (fun (d, w, s, id) ->
+           [
+             Printf.sprintf "%d domain%s" d (if d = 1 then "" else "s");
+             Printf.sprintf "%.3f s" w;
+             Printf.sprintf "%.2fx" s;
+             (if id then "yes" else "NO");
+           ])
+         runs);
+  Printf.printf
+    "\n(%d traces, portfolio of %d heuristics per process; host recommends %d domains)\n"
+    (Array.length traces)
+    (List.length Dt_core.Heuristic.all)
+    recommended;
+  List.iter
+    (fun (_, _, _, identical) ->
+      if not identical then
+        failwith "scaling: parallel fleet diverged from sequential results")
+    runs;
+  let oc = open_out "BENCH_fleet.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"fleet-scaling\",\n\
+        \  \"kernel\": \"%s\",\n\
+        \  \"traces\": %d,\n\
+        \  \"portfolio_size\": %d,\n\
+        \  \"capacity_factor\": 1.5,\n\
+        \  \"fast_mode\": %b,\n\
+        \  \"recommended_domain_count\": %d,\n\
+        \  \"application_makespan\": %.17g,\n\
+        \  \"application_lower_bound\": %.17g,\n\
+        \  \"mean_ratio\": %.6f,\n\
+        \  \"sequential_wall_s\": %.6f,\n\
+        \  \"runs\": [\n"
+        (json_escape "hf")
+        (Array.length traces)
+        (List.length Dt_core.Heuristic.all)
+        Data.fast recommended
+        seq.Dt_trace.Fleet.application_makespan
+        seq.Dt_trace.Fleet.application_lower_bound
+        seq.Dt_trace.Fleet.mean_ratio seq_wall;
+      List.iteri
+        (fun i (d, w, s, identical) ->
+          Printf.fprintf oc
+            "    { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \
+             \"identical\": %b }%s\n"
+            d w s identical
+            (if i = List.length runs - 1 then "" else ","))
+        runs;
+      output_string oc "  ]\n}\n");
+  Printf.printf "wrote BENCH_fleet.json\n"

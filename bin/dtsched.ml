@@ -273,20 +273,24 @@ let svg_cmd =
 (* fleet                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fleet dir prefix factor =
+let fleet dir prefix factor domains =
   let traces = Dt_trace.Trace.load_set ~dir ~prefix in
   if Array.length traces = 0 then begin
     Printf.eprintf "no %s-p*.trace files under %s\n" prefix dir;
     exit 1
   end;
-  let submission =
-    Dt_trace.Fleet.run ~capacity_factor:factor
-      (Dt_trace.Fleet.Fixed (Dt_core.Heuristic.Static Dt_core.Static_rules.OS))
-      traces
+  let run_policy pool policy = Dt_trace.Fleet.run ~capacity_factor:factor ?pool policy traces in
+  let with_pool f =
+    match domains with
+    | None -> f None
+    | Some 0 -> Dt_par.Pool.with_pool (fun pool -> f (Some pool))
+    | Some n -> Dt_par.Pool.with_pool ~num_domains:n (fun pool -> f (Some pool))
   in
-  let portfolio =
-    Dt_trace.Fleet.run ~capacity_factor:factor
-      (Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all) traces
+  let submission, portfolio =
+    with_pool (fun pool ->
+        ( run_policy pool
+            (Dt_trace.Fleet.Fixed (Dt_core.Heuristic.Static Dt_core.Static_rules.OS)),
+          run_policy pool (Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all) ))
   in
   let row name (o : Dt_trace.Fleet.outcome) =
     [
@@ -308,9 +312,20 @@ let fleet_cmd =
   let prefix =
     Arg.(value & opt string "hf" & info [ "p"; "prefix" ] ~docv:"P" ~doc:"Trace prefix.")
   in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ]
+          ~docv:"N"
+          ~doc:
+            "Run the per-process schedulers on a pool of $(docv) domains (0 = \
+             pick automatically from DTSCHED_DOMAINS or the host's core \
+             count). Without this option the fleet runs sequentially.")
+  in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Whole-application comparison across all process traces")
-    Term.(const fleet $ dir $ prefix $ factor_arg)
+    Term.(const fleet $ dir $ prefix $ factor_arg $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* chem                                                                 *)

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Per-PR smoke: build, full test suite, then the parallel fleet path
+# end-to-end (scaling experiment at reduced workload sizes). Run from the
+# repository root.
+set -eu
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== scaling experiment (fast workload) =="
+EXPERIMENTS=scaling DTSCHED_FAST=1 dune exec bench/main.exe
+
+echo "== BENCH_fleet.json =="
+cat BENCH_fleet.json
+
+echo "ci.sh: all green"

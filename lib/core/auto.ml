@@ -1,29 +1,43 @@
 let default_portfolio = Heuristic.all
 
-let best_on ?state ~candidates instance =
+let best_on ?state ?pool ~candidates instance =
   match candidates with
   | [] -> invalid_arg "Auto: empty candidate list"
   | _ ->
+      let evaluate h =
+        let st = Option.map Sim.copy_state state in
+        (h, Heuristic.run ?state:st h instance)
+      in
       let scored =
-        List.map
-          (fun h ->
-            let st = Option.map Sim.copy_state state in
-            (h, Heuristic.run ?state:st h instance))
-          candidates
+        match pool with
+        | None -> Array.of_list (List.map evaluate candidates)
+        | Some pool ->
+            (* candidates are independent; the pool returns results in
+               candidate order, so the tie-break below is unchanged *)
+            Dt_par.Pool.parallel_map pool evaluate (Array.of_list candidates)
       in
-      let better (_, s1) (_, s2) =
-        Float.compare (Schedule.makespan s1) (Schedule.makespan s2) < 0
-      in
-      List.fold_left (fun acc c -> if better c acc then c else acc) (List.hd scored)
-        (List.tl scored)
+      (* first strictly-better wins: ties keep the earliest candidate, the
+         same rule as the sequential fold, whatever the evaluation order *)
+      let best = ref scored.(0) in
+      for i = 1 to Array.length scored - 1 do
+        let _, s = scored.(i) and _, sb = !best in
+        if Float.compare (Schedule.makespan s) (Schedule.makespan sb) < 0 then
+          best := scored.(i)
+      done;
+      !best
 
-let select ?(candidates = default_portfolio) instance = best_on ~candidates instance
+let select ?(candidates = default_portfolio) ?pool instance =
+  best_on ?pool ~candidates instance
 
-let run ?candidates instance = snd (select ?candidates instance)
+let run ?candidates ?pool instance = snd (select ?candidates ?pool instance)
 
 let run_batched ?(candidates = default_portfolio) ~batch instance =
   let capacity = instance.Instance.capacity in
-  let winners = ref [] and entries = ref [] in
+  let winners = ref [] and rev_entries = ref [] in
+  (* [rev_entries] holds all scheduled entries so far in reverse; every
+     fold below is order-insensitive, and the final Schedule.make sorts,
+     so accumulating by [rev_append] (O(batch) per batch instead of the
+     O(total) of appending on the right) changes nothing observable. *)
   let state_of_entries es =
     let link_free = List.fold_left (fun acc e -> Float.max acc (Schedule.comm_end e)) 0.0 es
     and cpu_free = List.fold_left (fun acc e -> Float.max acc (Schedule.comp_end e)) 0.0 es in
@@ -39,9 +53,9 @@ let run_batched ?(candidates = default_portfolio) ~batch instance =
   List.iter
     (fun tasks ->
       let sub = Instance.make_keep_ids ~capacity tasks in
-      let state = state_of_entries !entries in
+      let state = state_of_entries !rev_entries in
       let h, sched = best_on ~state ~candidates sub in
       winners := h :: !winners;
-      entries := !entries @ Schedule.entries sched)
+      rev_entries := List.rev_append (Schedule.entries sched) !rev_entries)
     (Batched.slices ~batch (Instance.task_list instance));
-  (List.rev !winners, Schedule.make ~capacity !entries)
+  (List.rev !winners, Schedule.make ~capacity (List.rev !rev_entries))

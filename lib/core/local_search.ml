@@ -1,32 +1,66 @@
-let makespan_of ~capacity order =
-  Schedule.makespan (Sim.run_order_exn ~capacity order)
-
-let swap_at arr i =
-  let a = Array.copy arr in
-  let t = a.(i) in
-  a.(i) <- a.(i + 1);
-  a.(i + 1) <- t;
-  a
+(* First-improvement adjacent-swap hill climbing, made incremental: the
+   executor state after every prefix of the current order is cached, so
+   evaluating the swap at position [i] copies the state at [i] and
+   re-simulates only positions [i..n-1] — the prefix [0..i-1] is untouched
+   by the swap.  The candidate's makespan is read straight off the final
+   processor availability (computations are sequential, so the last one to
+   finish defines the makespan), which avoids building a [Schedule.t]
+   (entry list, sort) per candidate.  Swaps are performed in place and
+   undone on rejection; the only per-candidate allocation left is the
+   state copy. *)
 
 let improve ?(max_rounds = 50) ~capacity order =
-  let current = ref (Array.of_list order) in
-  let best = ref (makespan_of ~capacity order) in
-  let improved = ref true in
-  let rounds = ref 0 in
-  while !improved && !rounds < max_rounds do
-    improved := false;
-    incr rounds;
-    for i = 0 to Array.length !current - 2 do
-      let candidate = swap_at !current i in
-      let mk = makespan_of ~capacity (Array.to_list candidate) in
-      if mk < !best -. 1e-12 then begin
-        current := candidate;
-        best := mk;
-        improved := true
-      end
-    done
-  done;
-  (Array.to_list !current, !best)
+  let current = Array.of_list order in
+  let n = Array.length current in
+  Array.iter
+    (fun (t : Task.t) ->
+      if t.Task.mem > capacity *. (1.0 +. 1e-12) then
+        invalid_arg
+          (Printf.sprintf "Local_search.improve: task %d needs %g > capacity %g"
+             t.Task.id t.Task.mem capacity))
+    current;
+  if n < 2 then (order, Schedule.makespan (Sim.run_order_exn ~capacity order))
+  else begin
+    (* states.(j) = executor state after scheduling current.(0 .. j-1) *)
+    let states = Array.make (n + 1) (Sim.initial_state ()) in
+    let refresh_from i =
+      for j = i to n - 1 do
+        let st = Sim.copy_state states.(j) in
+        ignore (Sim.schedule_task st ~capacity current.(j));
+        states.(j + 1) <- st
+      done
+    in
+    refresh_from 0;
+    let best = ref (Sim.cpu_free_time states.(n)) in
+    let improved = ref true in
+    let rounds = ref 0 in
+    while !improved && !rounds < max_rounds do
+      improved := false;
+      incr rounds;
+      for i = 0 to n - 2 do
+        (* swap in place, evaluate from the cached prefix, undo if worse *)
+        let a = current.(i) in
+        current.(i) <- current.(i + 1);
+        current.(i + 1) <- a;
+        let st = Sim.copy_state states.(i) in
+        for j = i to n - 1 do
+          ignore (Sim.schedule_task st ~capacity current.(j))
+        done;
+        let mk = Sim.cpu_free_time st in
+        if mk < !best -. 1e-12 then begin
+          best := mk;
+          improved := true;
+          refresh_from i
+        end
+        else begin
+          let b = current.(i) in
+          current.(i) <- current.(i + 1);
+          current.(i + 1) <- b
+        end
+      done
+    done;
+    (Array.to_list current, !best)
+  end
 
 let polish heuristic instance =
   let capacity = instance.Instance.capacity in

@@ -115,7 +115,24 @@ type dual_error =
    head, so it cannot release memory before the head starts. *)
 let run_two_orders ?state ~capacity ~comm_order comp_order =
   let st = match state with Some s -> s | None -> initial_state () in
-  let comm_end_of = Hashtbl.create 16 and s_comm_of = Hashtbl.create 16 in
+  (* Per-task started/start-time records, indexed by task id offset by the
+     smallest id in the order (ids are dense in practice — [Instance.make]
+     renumbers 0..n-1 — so flat arrays beat hashing on this hot path; the
+     offset keeps arbitrary [make_keep_ids] id ranges working). *)
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) (t : Task.t) -> (min lo t.Task.id, max hi t.Task.id))
+      (max_int, min_int) comm_order
+  in
+  let slots = if hi >= lo then hi - lo + 1 else 0 in
+  let comm_started = Array.make slots false in
+  let s_comm_of = Array.make slots 0.0 in
+  (* a task outside the comm order maps to no slot and never starts, which
+     surfaces as the same deadlock the Hashtbl version reported *)
+  let started (t : Task.t) =
+    let i = t.Task.id - lo in
+    i >= 0 && i < slots && comm_started.(i)
+  in
   let entries = ref [] in
   let pending_comm = ref comm_order and pending_comp = ref comp_order in
   let exception Stop of dual_error in
@@ -124,19 +141,19 @@ let run_two_orders ?state ~capacity ~comm_order comp_order =
     let rec loop () =
       match !pending_comp with
       | [] -> ()
-      | t :: rest -> (
-          match Hashtbl.find_opt comm_end_of t.Task.id with
-          | None -> ()
-          | Some ce ->
-              let s_comp = Float.max ce st.cpu_free in
-              let comp_end = s_comp +. t.Task.comp in
-              st.cpu_free <- comp_end;
-              Queue.push (comp_end, t.Task.mem) st.releases;
-              let s_comm = Hashtbl.find s_comm_of t.Task.id in
-              entries := { Schedule.task = t; s_comm; s_comp } :: !entries;
-              pending_comp := rest;
-              progress := true;
-              loop ())
+      | t :: rest ->
+          if started t then begin
+            let s_comm = s_comm_of.(t.Task.id - lo) in
+            let ce = s_comm +. t.Task.comm in
+            let s_comp = Float.max ce st.cpu_free in
+            let comp_end = s_comp +. t.Task.comp in
+            st.cpu_free <- comp_end;
+            Queue.push (comp_end, t.Task.mem) st.releases;
+            entries := { Schedule.task = t; s_comm; s_comp } :: !entries;
+            pending_comp := rest;
+            progress := true;
+            loop ()
+          end
     in
     loop ();
     !progress
@@ -160,8 +177,8 @@ let run_two_orders ?state ~capacity ~comm_order comp_order =
         let s_comm = !start in
         st.used <- st.used +. t.Task.mem;
         st.link_free <- s_comm +. t.Task.comm;
-        Hashtbl.replace s_comm_of t.Task.id s_comm;
-        Hashtbl.replace comm_end_of t.Task.id (s_comm +. t.Task.comm);
+        s_comm_of.(t.Task.id - lo) <- s_comm;
+        comm_started.(t.Task.id - lo) <- true;
         pending_comm := rest;
         true
   in

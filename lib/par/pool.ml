@@ -1,0 +1,153 @@
+(* A hand-rolled fork/join work pool on OCaml 5 domains.
+
+   Jobs are published as closures under [mutex]; workers sleep on
+   [work_ready] between jobs and re-check [generation] to tell a fresh job
+   from a spurious wakeup. Inside a job, indices are claimed in contiguous
+   chunks from an atomic cursor — a worker that finishes early keeps
+   claiming from the shared range, which gives the load balancing of work
+   stealing without per-domain deques. Results land in a preallocated
+   array slot per index, so collection is deterministic and in order no
+   matter which domain computed what. *)
+
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  job_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable generation : int; (* bumped once per published job *)
+  mutable stopped : bool;
+  busy : bool Atomic.t; (* a parallel_map is in flight (nested-call guard) *)
+  mutable domains : unit Domain.t array;
+}
+
+let worker pool =
+  let last_seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while pool.generation = !last_seen && not pool.stopped do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stopped then Mutex.unlock pool.mutex
+    else begin
+      last_seen := pool.generation;
+      let job = pool.job in
+      Mutex.unlock pool.mutex;
+      (match job with Some run -> run () | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let default_num_domains () =
+  match Option.bind (Sys.getenv_opt "DTSCHED_DOMAINS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | Some n -> max 1 n
+    | None -> default_num_domains ()
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      job_done = Condition.create ();
+      job = None;
+      generation = 0;
+      stopped = false;
+      busy = Atomic.make false;
+      domains = [||];
+    }
+  in
+  pool.domains <- Array.init n (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let num_domains pool = Array.length pool.domains
+
+(* One claimed chunk per [fetch_and_add]; ~4 chunks per domain keeps the
+   tail balanced without contending on the cursor for every element. *)
+let chunk_size pool n = max 1 (n / (4 * Array.length pool.domains))
+
+let parallel_map pool f a =
+  let n = Array.length a in
+  if pool.stopped then invalid_arg "Pool.parallel_map: pool is shut down";
+  if n <= 1 || not (Atomic.compare_and_set pool.busy false true) then
+    Array.map f a
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let in_flight = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let chunk = chunk_size pool n in
+    let signal_caller () =
+      Mutex.lock pool.mutex;
+      Condition.broadcast pool.job_done;
+      Mutex.unlock pool.mutex
+    in
+    let run () =
+      Atomic.incr in_flight;
+      let continue = ref true in
+      while !continue do
+        if Atomic.get failure <> None then continue := false
+        else begin
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= n then continue := false
+          else begin
+            let stop = min n (start + chunk) in
+            (try
+               for i = start to stop - 1 do
+                 results.(i) <- Some (f a.(i))
+               done
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            if
+              Atomic.fetch_and_add completed (stop - start) + (stop - start)
+              >= n
+            then signal_caller ()
+          end
+        end
+      done;
+      Atomic.decr in_flight;
+      (* after a failure the unclaimed tail never completes: the caller
+         instead waits for every participant to quiesce *)
+      if Atomic.get failure <> None && Atomic.get in_flight = 0 then
+        signal_caller ()
+    in
+    Mutex.lock pool.mutex;
+    pool.job <- Some run;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    let finished () =
+      Atomic.get completed >= n
+      || (Atomic.get failure <> None && Atomic.get in_flight = 0)
+    in
+    Mutex.lock pool.mutex;
+    while not (finished ()) do
+      Condition.wait pool.job_done pool.mutex
+    done;
+    (* retire the job so late-waking workers go straight back to sleep *)
+    pool.job <- None;
+    Mutex.unlock pool.mutex;
+    Atomic.set pool.busy false;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_stopped = pool.stopped in
+  pool.stopped <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  if not was_stopped then Array.iter Domain.join pool.domains
+
+let with_pool ?num_domains f =
+  let pool = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,54 @@
+(** A persistent pool of OCaml 5 domains for embarrassingly-parallel
+    evaluation.
+
+    The paper's setting is 150 independent per-process schedulers, and the
+    portfolio runtime tries every candidate heuristic on each of them — both
+    layers are pure fan-out over immutable inputs, so a fixed fleet of
+    domains with deterministic, index-ordered result collection is all the
+    machinery needed. Built directly on [Domain], [Mutex] and [Condition]
+    from the standard library (no external dependency).
+
+    A pool is owned by the thread that created it. {!parallel_map} may be
+    called repeatedly (the domains persist between calls); a call issued
+    while another one is already running on the same pool — e.g. from a
+    worker of an enclosing {!parallel_map} — safely degrades to a
+    sequential [Array.map] instead of deadlocking, so nested parallel
+    structures are allowed even though only the outermost level actually
+    fans out. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ()] spawns the worker domains. [num_domains] is the number of
+    computing domains (clamped to at least 1); when omitted it is taken
+    from the [DTSCHED_DOMAINS] environment variable if set to a positive
+    integer, and otherwise defaults to
+    [Domain.recommended_domain_count () - 1] (at least 1), leaving one
+    core's worth of slack for the coordinating thread. *)
+
+val num_domains : t -> int
+(** Number of computing domains the pool runs work on. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f a] computes [Array.map f a] on the pool's domains
+    and returns the results in index order — the outcome is bit-identical
+    to the sequential map whenever [f] is deterministic, regardless of how
+    the indices were interleaved across domains. Work is handed out in
+    contiguous chunks through a shared atomic cursor, so faster domains
+    steal the remaining range from slower ones.
+
+    If any application of [f] raises, the remaining chunks are abandoned,
+    every domain quiesces, and the first exception raised (by claim order)
+    is re-raised in the caller with its original backtrace.
+
+    Empty and single-element arrays, and calls issued while the pool is
+    already busy (nested parallelism), are evaluated sequentially in the
+    calling domain. Calling after {!shutdown} raises [Invalid_argument]. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. Idempotent. The pool cannot be
+    used afterwards. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)

@@ -36,9 +36,16 @@ let run_process ~capacity_factor policy trace =
     chosen;
   }
 
-let run ?(capacity_factor = 1.5) policy traces =
+let run ?(capacity_factor = 1.5) ?pool policy traces =
   if Array.length traces = 0 then invalid_arg "Fleet.run: empty trace set";
-  let processes = Array.map (run_process ~capacity_factor policy) traces in
+  let processes =
+    (* the per-process schedulers are independent (the paper's 150 workers
+       never interact): one pool task per trace, results in trace order *)
+    match pool with
+    | None -> Array.map (run_process ~capacity_factor policy) traces
+    | Some pool ->
+        Dt_par.Pool.parallel_map pool (run_process ~capacity_factor policy) traces
+  in
   let fold f init = Array.fold_left f init processes in
   {
     processes;

@@ -24,9 +24,13 @@ type outcome = {
   worst_ratio : float;
 }
 
-val run : ?capacity_factor:float -> policy -> Trace.t array -> outcome
+val run :
+  ?capacity_factor:float -> ?pool:Dt_par.Pool.t -> policy -> Trace.t array -> outcome
 (** Each process gets capacity [capacity_factor * its own m_c]
-    (default 1.5). Raises [Invalid_argument] on an empty trace set. *)
+    (default 1.5). With [?pool] the per-process schedulers run
+    concurrently, one pool task per trace; the outcome (makespans, ratios,
+    chosen heuristics, aggregation) is bit-identical to the sequential
+    run. Raises [Invalid_argument] on an empty trace set. *)
 
 val speedup_over_submission : outcome -> submission:outcome -> float
 (** Application-level speedup of this policy against the

@@ -20,4 +20,5 @@ let () =
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
       ("dag", Test_dag.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,145 @@
+(* dt_par: the domain pool agrees with sequential evaluation exactly, and
+   the parallel fleet/portfolio paths are bit-identical to sequential. *)
+
+open Dt_core
+
+(* One shared pool for the whole suite: pools are cheap to reuse and the
+   suite exercises reuse across many calls that way. *)
+let pool = lazy (Dt_par.Pool.create ~num_domains:3 ())
+
+let map_matches_sequential () =
+  let pool = Lazy.force pool in
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun i -> i) in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (array int))
+        (Printf.sprintf "int map, n = %d" n)
+        (Array.map f a)
+        (Dt_par.Pool.parallel_map pool f a);
+      let g x = Printf.sprintf "<%d>" x in
+      Alcotest.(check (array string))
+        (Printf.sprintf "string map, n = %d" n)
+        (Array.map g a)
+        (Dt_par.Pool.parallel_map pool g a))
+    [ 0; 1; 2; 3; 7; 64; 1000 ]
+
+let exceptions_propagate () =
+  let pool = Lazy.force pool in
+  let a = Array.init 512 (fun i -> i) in
+  Alcotest.check_raises "raises the worker's exception" (Failure "boom")
+    (fun () ->
+      ignore
+        (Dt_par.Pool.parallel_map pool
+           (fun x -> if x = 300 then failwith "boom" else x)
+           a));
+  (* the pool survives a failed job *)
+  Alcotest.(check (array int))
+    "usable after failure"
+    (Array.map succ a)
+    (Dt_par.Pool.parallel_map pool succ a)
+
+let nested_calls_degrade () =
+  let pool = Lazy.force pool in
+  let outer = Array.init 8 (fun i -> i) in
+  let inner = Array.init 50 (fun i -> i) in
+  let expect =
+    Array.map (fun i -> Array.fold_left ( + ) i (Array.map succ inner)) outer
+  in
+  let got =
+    Dt_par.Pool.parallel_map pool
+      (fun i ->
+        (* inner call from a worker domain: must fall back to sequential
+           instead of deadlocking on the busy pool *)
+        Array.fold_left ( + ) i (Dt_par.Pool.parallel_map pool succ inner))
+      outer
+  in
+  Alcotest.(check (array int)) "nested map result" expect got
+
+let prop_parallel_map_is_map =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"parallel_map = Array.map"
+       ~print:(fun (l, k) ->
+         Printf.sprintf "(%d elements, f = fun x -> x * %d + x mod 7)"
+           (List.length l) k)
+       QCheck2.Gen.(pair (list_size (int_range 0 200) int) (int_range 1 9))
+       (fun (l, k) ->
+         let a = Array.of_list l in
+         let f x = (x * k) + (x mod 7) in
+         Dt_par.Pool.parallel_map (Lazy.force pool) f a = Array.map f a))
+
+(* ------------------------- fleet determinism ------------------------- *)
+
+(* A generated HF-like trace set: homogeneous, communication-intensive
+   tasks (the paper's Hartree-Fock regime) with the memory footprint equal
+   to the communication time, as in the paper's traces. *)
+let hf_like_traces ~traces ~tasks_per_trace =
+  Array.init traces (fun p ->
+      let rng = Dt_stats.Rng.create ((p * 7919) + 13) in
+      let tasks =
+        List.init tasks_per_trace (fun id ->
+            let comm = Dt_stats.Rng.uniform rng 3.0 4.0 in
+            let comp = Dt_stats.Rng.uniform rng 0.5 1.5 in
+            Task.make ~id ~comm ~comp ())
+      in
+      Dt_trace.Trace.make ~name:(Printf.sprintf "hf-like-p%03d" p) tasks)
+
+let same_outcomes (a : Dt_trace.Fleet.outcome) (b : Dt_trace.Fleet.outcome) =
+  Array.length a.Dt_trace.Fleet.processes = Array.length b.Dt_trace.Fleet.processes
+  && Array.for_all2
+       (fun (pa : Dt_trace.Fleet.process_outcome) (pb : Dt_trace.Fleet.process_outcome) ->
+         pa.Dt_trace.Fleet.name = pb.Dt_trace.Fleet.name
+         && pa.Dt_trace.Fleet.makespan = pb.Dt_trace.Fleet.makespan
+         && pa.Dt_trace.Fleet.omim = pb.Dt_trace.Fleet.omim
+         && pa.Dt_trace.Fleet.ratio = pb.Dt_trace.Fleet.ratio
+         && Heuristic.name pa.Dt_trace.Fleet.chosen
+            = Heuristic.name pb.Dt_trace.Fleet.chosen)
+       a.Dt_trace.Fleet.processes b.Dt_trace.Fleet.processes
+  && a.Dt_trace.Fleet.application_makespan = b.Dt_trace.Fleet.application_makespan
+  && a.Dt_trace.Fleet.mean_ratio = b.Dt_trace.Fleet.mean_ratio
+  && a.Dt_trace.Fleet.worst_ratio = b.Dt_trace.Fleet.worst_ratio
+
+let fleet_parallel_is_sequential () =
+  let traces = hf_like_traces ~traces:12 ~tasks_per_trace:40 in
+  let policy = Dt_trace.Fleet.Portfolio Heuristic.all in
+  let sequential = Dt_trace.Fleet.run policy traces in
+  let parallel =
+    Dt_trace.Fleet.run ~pool:(Lazy.force pool) policy traces
+  in
+  Alcotest.(check bool)
+    "pooled fleet outcomes bit-identical to sequential" true
+    (same_outcomes sequential parallel);
+  (* same for a fixed policy *)
+  let fixed = Dt_trace.Fleet.Fixed (Heuristic.Dynamic Dynamic_rules.LCMR) in
+  Alcotest.(check bool)
+    "fixed policy identical too" true
+    (same_outcomes (Dt_trace.Fleet.run fixed traces)
+       (Dt_trace.Fleet.run ~pool:(Lazy.force pool) fixed traces))
+
+let auto_parallel_is_sequential () =
+  let traces = hf_like_traces ~traces:4 ~tasks_per_trace:60 in
+  Array.iter
+    (fun trace ->
+      let m_c = Dt_trace.Trace.min_capacity trace in
+      let instance = Dt_trace.Trace.to_instance trace ~capacity:(1.25 *. m_c) in
+      let h_seq, s_seq = Auto.select instance in
+      let h_par, s_par = Auto.select ~pool:(Lazy.force pool) instance in
+      Alcotest.(check string)
+        "same winner (tie-broken by candidate order)"
+        (Heuristic.name h_seq) (Heuristic.name h_par);
+      Alcotest.(check (float 0.0))
+        "same makespan"
+        (Schedule.makespan s_seq) (Schedule.makespan s_par))
+    traces
+
+let suite =
+  [
+    Alcotest.test_case "parallel_map on assorted sizes" `Quick map_matches_sequential;
+    Alcotest.test_case "exception propagation" `Quick exceptions_propagate;
+    Alcotest.test_case "nested calls fall back to sequential" `Quick nested_calls_degrade;
+    prop_parallel_map_is_map;
+    Alcotest.test_case "fleet: pool = sequential, bit for bit" `Quick
+      fleet_parallel_is_sequential;
+    Alcotest.test_case "auto: pool = sequential winner" `Quick
+      auto_parallel_is_sequential;
+  ]
