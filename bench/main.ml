@@ -31,6 +31,7 @@ let experiments =
     ("robustness", Extensions_bench.robustness);
     ("micro", Micro.run);
     ("scaling", Scaling.run);
+    ("online", Online.run);
   ]
 
 let () =

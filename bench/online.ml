@@ -1,0 +1,191 @@
+(* Online runtime experiment (beyond the paper): how much does not
+   knowing the future cost, and how fast is the service loop?
+
+   Part 1 — arrival-rate sweep: the online engine (tasks become visible
+   at their arrival times) against the offline clairvoyant schedule of
+   the same policy (every task known at time 0), on HF traces. Load is
+   expressed relative to the trace's own service rate: at load l, task i
+   arrives at i * mean_comm / l, so l >> 1 means tasks pile up faster
+   than the link drains them (the clairvoyant limit) and l << 1 means
+   the engine starves between arrivals and the makespan is dominated by
+   the last arrival, not by scheduling quality.
+
+   Part 2 — service throughput: requests/s and per-request p50/p99
+   latency of the protocol loop, both in-process (Session.handle_line:
+   the parsing + engine cost alone) and over a real TCP loopback socket
+   (adds the syscall round trip). Results land in BENCH_runtime.json
+   with git commit + hostname stamps. *)
+
+open Dt_core
+module Engine = Dt_runtime.Engine
+
+let loads = [ 0.25; 0.5; 1.0; 2.0; 4.0; Float.infinity ]
+
+let policies =
+  [
+    Engine.Dynamic Dynamic_rules.LCMR;
+    Engine.Corrected Corrected_rules.OOSCMR;
+  ]
+
+let online_makespan policy ~capacity ~spacing tasks =
+  let engine = Engine.create ~policy ~capacity () in
+  List.iteri
+    (fun i task ->
+      let arrival = if spacing = 0.0 then 0.0 else Float.of_int i *. spacing in
+      match Engine.submit engine ~arrival task with
+      | Engine.Accepted -> ()
+      | _ -> failwith "online bench: submission rejected")
+    tasks;
+  Dt_core.Schedule.makespan (Engine.drain engine)
+
+(* mean ratio online/offline over the trace set, at one load level *)
+let sweep_point policy traces ~factor ~load =
+  let ratios =
+    Array.map
+      (fun trace ->
+        let tasks = trace.Dt_trace.Trace.tasks in
+        let capacity = Dt_trace.Trace.min_capacity trace *. factor in
+        let mean_comm =
+          List.fold_left (fun a (t : Task.t) -> a +. t.Task.comm) 0.0 tasks
+          /. Float.of_int (max 1 (List.length tasks))
+        in
+        let spacing = if load = Float.infinity then 0.0 else mean_comm /. load in
+        let online = online_makespan policy ~capacity ~spacing tasks in
+        let offline = online_makespan policy ~capacity ~spacing:0.0 tasks in
+        if offline > 0.0 then online /. offline else 1.0)
+      traces
+  in
+  Dt_stats.Descriptive.mean ratios
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((Float.of_int (n - 1) *. q) +. 0.5)))
+
+(* Throughput of the in-process protocol loop: SUBMIT-heavy session. *)
+let session_throughput ~requests =
+  let session = Dt_runtime.Session.create () in
+  ignore (Dt_runtime.Session.handle_line session "INIT 1000 OOSCMR 1000000");
+  let latencies = Array.make requests 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to requests - 1 do
+    let line = Printf.sprintf "SUBMIT t%d 1.5 0.5 1.5 %d" i i in
+    let s0 = Unix.gettimeofday () in
+    ignore (Dt_runtime.Session.handle_line session line);
+    latencies.(i) <- Unix.gettimeofday () -. s0
+  done;
+  ignore (Dt_runtime.Session.handle_line session "DRAIN");
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort Float.compare latencies;
+  (Float.of_int requests /. wall, percentile latencies 0.5, percentile latencies 0.99)
+
+(* Same shape over a real TCP loopback: server on its own domain. *)
+let tcp_throughput ~requests =
+  let server = Dt_runtime.Server.create ~port:0 () in
+  let port = Dt_runtime.Server.port server in
+  let domain = Domain.spawn (fun () -> Dt_runtime.Server.run server) in
+  let conn = Dt_runtime.Client.connect ~port () in
+  let finish () =
+    (try ignore (Dt_runtime.Client.request conn Dt_runtime.Protocol.Shutdown)
+     with Failure _ -> ());
+    Dt_runtime.Client.close conn;
+    Domain.join domain
+  in
+  Fun.protect ~finally:finish (fun () ->
+      ignore
+        (Dt_runtime.Client.request conn
+           (Dt_runtime.Protocol.Init
+              { capacity = 1000.0; policy = List.hd Engine.all_policies; queue_limit = Some 1000000 }));
+      let latencies = Array.make requests 0.0 in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to requests - 1 do
+        let req =
+          Dt_runtime.Protocol.Submit
+            { label = Printf.sprintf "t%d" i; comm = 1.5; comp = 0.5; mem = 1.5;
+              arrival = Float.of_int i }
+        in
+        let s0 = Unix.gettimeofday () in
+        ignore (Dt_runtime.Client.request conn req);
+        latencies.(i) <- Unix.gettimeofday () -. s0
+      done;
+      ignore (Dt_runtime.Client.request conn Dt_runtime.Protocol.Drain);
+      let wall = Unix.gettimeofday () -. t0 in
+      Array.sort Float.compare latencies;
+      ( Float.of_int requests /. wall,
+        percentile latencies 0.5,
+        percentile latencies 0.99 ))
+
+let run () =
+  Printf.printf "\n== online: arrival-aware engine vs clairvoyant offline ==\n\n";
+  let traces = Lazy.force Data.hf_traces in
+  let traces = Array.sub traces 0 (min (if Data.fast then 5 else 20) (Array.length traces)) in
+  let factor = 1.5 in
+  let header =
+    "policy"
+    :: List.map
+         (fun l -> if l = Float.infinity then "load inf" else Printf.sprintf "load %g" l)
+         loads
+  in
+  let sweep =
+    List.map
+      (fun policy ->
+        ( policy,
+          List.map (fun load -> sweep_point policy traces ~factor ~load) loads ))
+      policies
+  in
+  Dt_report.Table.print ~header
+    (List.map
+       (fun (policy, points) ->
+         Engine.policy_name policy :: List.map Dt_report.Table.fmt_ratio points)
+       sweep);
+  Printf.printf
+    "\n(mean online/offline makespan over %d HF traces at C = %g m_c; load = \
+     mean comm time / arrival spacing; load inf = every task at 0, which the \
+     tests pin to the offline schedule bit for bit)\n"
+    (Array.length traces) factor;
+  let requests = if Data.fast then 2000 else 20000 in
+  let inproc_rps, inproc_p50, inproc_p99 = session_throughput ~requests in
+  Printf.printf
+    "\nservice loop, in-process: %.0f req/s (p50 %.1f us, p99 %.1f us, %d requests)\n"
+    inproc_rps (1e6 *. inproc_p50) (1e6 *. inproc_p99) requests;
+  let tcp_requests = if Data.fast then 1000 else 5000 in
+  let tcp_rps, tcp_p50, tcp_p99 = tcp_throughput ~requests:tcp_requests in
+  Printf.printf
+    "service loop, TCP loopback: %.0f req/s (p50 %.1f us, p99 %.1f us, %d requests)\n"
+    tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99) tcp_requests;
+  let oc = open_out "BENCH_runtime.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"experiment\": \"online-runtime\",\n";
+      output_string oc (Provenance.json_fields ());
+      Printf.fprintf oc
+        "  \"kernel\": \"hf\",\n  \"traces\": %d,\n  \"capacity_factor\": %g,\n\
+        \  \"fast_mode\": %b,\n  \"sweep\": [\n"
+        (Array.length traces) factor Data.fast;
+      let n_rows = List.length sweep in
+      List.iteri
+        (fun i (policy, points) ->
+          Printf.fprintf oc "    { \"policy\": \"%s\", \"mean_ratio_by_load\": [%s] }%s\n"
+            (Engine.policy_name policy)
+            (String.concat ", "
+               (List.map2
+                  (fun load p ->
+                    Printf.sprintf "{ \"load\": %s, \"ratio\": %.6f }"
+                      (if load = Float.infinity then "\"inf\""
+                       else Printf.sprintf "%g" load)
+                      p)
+                  loads points))
+            (if i = n_rows - 1 then "" else ","))
+        sweep;
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"throughput\": {\n\
+        \    \"in_process\": { \"requests\": %d, \"requests_per_s\": %.1f, \
+         \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f },\n\
+        \    \"tcp_loopback\": { \"requests\": %d, \"requests_per_s\": %.1f, \
+         \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f }\n\
+        \  }\n}\n"
+        requests inproc_rps (1e6 *. inproc_p50) (1e6 *. inproc_p99)
+        tcp_requests tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99));
+  Printf.printf "wrote BENCH_runtime.json\n"

@@ -1,0 +1,31 @@
+(* Provenance stamps for the machine-readable BENCH_*.json files: which
+   commit produced the numbers, on which host. Successive PRs compare
+   those files, so they must say where they came from. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
+
+let git_commit () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when String.length line = 40 -> line
+      | _ -> "unknown")
+
+(* The common stamp fields, ready to splice into a JSON object. *)
+let json_fields () =
+  Printf.sprintf "  \"git_commit\": \"%s\",\n  \"hostname\": \"%s\",\n"
+    (json_escape (git_commit ()))
+    (json_escape (hostname ()))

@@ -13,17 +13,6 @@ let wall f =
   let result = f () in
   (result, Unix.gettimeofday () -. t0)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let run () =
   Printf.printf "\n== scaling: fleet wall-clock vs domain count ==\n\n";
   let traces = Lazy.force Data.hf_traces in
@@ -81,10 +70,10 @@ let run () =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      Printf.fprintf oc "{\n  \"experiment\": \"fleet-scaling\",\n";
+      output_string oc (Provenance.json_fields ());
       Printf.fprintf oc
-        "{\n\
-        \  \"experiment\": \"fleet-scaling\",\n\
-        \  \"kernel\": \"%s\",\n\
+        "  \"kernel\": \"%s\",\n\
         \  \"traces\": %d,\n\
         \  \"portfolio_size\": %d,\n\
         \  \"capacity_factor\": 1.5,\n\
@@ -95,7 +84,7 @@ let run () =
         \  \"mean_ratio\": %.6f,\n\
         \  \"sequential_wall_s\": %.6f,\n\
         \  \"runs\": [\n"
-        (json_escape "hf")
+        (Provenance.json_escape "hf")
         (Array.length traces)
         (List.length Dt_core.Heuristic.all)
         Data.fast recommended

@@ -6,7 +6,9 @@
      compare   compare every heuristic on a trace across capacities
      gantt     render a schedule as an ASCII Gantt chart
      workchar  workload characteristics of a trace directory (Figure 8)
-     chem      run the numeric HF/CCSD kernels on a small molecule *)
+     chem      run the numeric HF/CCSD kernels on a small molecule
+     serve     online scheduling service (TCP or stdio)
+     client    service client: interactive or trace-replay load generator *)
 
 open Cmdliner
 
@@ -50,6 +52,36 @@ let load_instance path ~factor =
   let trace = Dt_trace.Trace.load path in
   let m_c = Dt_trace.Trace.min_capacity trace in
   (trace, Dt_trace.Trace.to_instance trace ~capacity:(m_c *. factor))
+
+(* --domains / -j: 0 = pick automatically; negative values are a hard
+   cmdliner error instead of reaching Pool.create. *)
+let domains_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some n ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "expected a domain count >= 0 (0 picks the size automatically), got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer domain count, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+(* Resolve -j into an optional pool; [Some 0] means "size automatically",
+   which reads DTSCHED_DOMAINS — an invalid value there surfaces as
+   [Invalid_argument] from the pool and is turned into a clean cmdliner
+   error rather than an uncaught exception. *)
+let with_optional_pool domains f =
+  match domains with
+  | None -> Ok (f None)
+  | Some n -> (
+      match
+        if n = 0 then Dt_par.Pool.with_pool (fun pool -> f (Some pool))
+        else Dt_par.Pool.with_pool ~num_domains:n (fun pool -> f (Some pool))
+      with
+      | result -> Ok result
+      | exception Invalid_argument msg -> Error (`Msg msg))
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                  *)
@@ -280,30 +312,24 @@ let fleet dir prefix factor domains =
     exit 1
   end;
   let run_policy pool policy = Dt_trace.Fleet.run ~capacity_factor:factor ?pool policy traces in
-  let with_pool f =
-    match domains with
-    | None -> f None
-    | Some 0 -> Dt_par.Pool.with_pool (fun pool -> f (Some pool))
-    | Some n -> Dt_par.Pool.with_pool ~num_domains:n (fun pool -> f (Some pool))
-  in
-  let submission, portfolio =
-    with_pool (fun pool ->
-        ( run_policy pool
-            (Dt_trace.Fleet.Fixed (Dt_core.Heuristic.Static Dt_core.Static_rules.OS)),
-          run_policy pool (Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all) ))
-  in
-  let row name (o : Dt_trace.Fleet.outcome) =
-    [
-      name;
-      Printf.sprintf "%.6g" o.Dt_trace.Fleet.application_makespan;
-      Dt_report.Table.fmt_ratio o.Dt_trace.Fleet.mean_ratio;
-      Dt_report.Table.fmt_ratio o.Dt_trace.Fleet.worst_ratio;
-      Printf.sprintf "%.2fx" (Dt_trace.Fleet.speedup_over_submission o ~submission);
-    ]
-  in
-  Dt_report.Table.print
-    ~header:[ "policy"; "app makespan"; "mean ratio"; "worst ratio"; "speedup" ]
-    [ row "submission order" submission; row "portfolio" portfolio ]
+  Result.map
+    (fun (submission, portfolio) ->
+      let row name (o : Dt_trace.Fleet.outcome) =
+        [
+          name;
+          Printf.sprintf "%.6g" o.Dt_trace.Fleet.application_makespan;
+          Dt_report.Table.fmt_ratio o.Dt_trace.Fleet.mean_ratio;
+          Dt_report.Table.fmt_ratio o.Dt_trace.Fleet.worst_ratio;
+          Printf.sprintf "%.2fx" (Dt_trace.Fleet.speedup_over_submission o ~submission);
+        ]
+      in
+      Dt_report.Table.print
+        ~header:[ "policy"; "app makespan"; "mean ratio"; "worst ratio"; "speedup" ]
+        [ row "submission order" submission; row "portfolio" portfolio ])
+    (with_optional_pool domains (fun pool ->
+         ( run_policy pool
+             (Dt_trace.Fleet.Fixed (Dt_core.Heuristic.Static Dt_core.Static_rules.OS)),
+           run_policy pool (Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all) )))
 
 let fleet_cmd =
   let dir =
@@ -315,7 +341,7 @@ let fleet_cmd =
   let domains =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some domains_conv) None
       & info [ "j"; "domains" ]
           ~docv:"N"
           ~doc:
@@ -325,7 +351,165 @@ let fleet_cmd =
   in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Whole-application comparison across all process traces")
-    Term.(const fleet $ dir $ prefix $ factor_arg $ domains)
+    Term.(term_result (const fleet $ dir $ prefix $ factor_arg $ domains))
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve host port port_file stdio domains =
+  if stdio then Ok (Dt_runtime.Server.serve_stdio ())
+  else
+    match Dt_runtime.Server.create ~host ~port () with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (`Msg (Printf.sprintf "cannot listen on %s:%d: %s" host port (Unix.error_message e)))
+    | server ->
+        let on_listen bound =
+          Printf.printf "dtsched: listening on %s:%d\n%!" host bound;
+          match port_file with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              Printf.fprintf oc "%d\n" bound;
+              close_out oc
+        in
+        with_optional_pool domains (fun pool ->
+            Dt_runtime.Server.run ?pool ~on_listen server)
+
+let serve_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7464
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 picks a free one).")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound port to $(docv) once listening (for scripts).")
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ] ~doc:"Serve a single session over stdin/stdout instead of TCP.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some domains_conv) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Serve simultaneous connections on a pool of $(docv) domains (0 = \
+             pick automatically). Without this option connections are served \
+             one at a time.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Online scheduling service (newline-delimited protocol over TCP or stdio)")
+    Term.(term_result (const serve $ host $ port $ port_file $ stdio $ domains))
+
+(* ------------------------------------------------------------------ *)
+(* client                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let policy_conv =
+  let parse s =
+    match Dt_runtime.Engine.policy_of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S (LCMR/SCMR/MAMR/OOLCMR/OOSCMR/OOMAMR)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Dt_runtime.Engine.policy_name p) in
+  Arg.conv (parse, print)
+
+let client host port trace_path rate policy factor =
+  match
+    match Dt_runtime.Client.connect ~host ~port () with
+    | conn -> Ok conn
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (`Msg (Printf.sprintf "cannot connect to %s:%d: %s" host port (Unix.error_message e)))
+  with
+  | Error _ as e -> e
+  | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Dt_runtime.Client.close conn)
+        (fun () ->
+          match trace_path with
+          | Some path ->
+              (* load-generator mode: replay the trace at the given rate *)
+              let trace = Dt_trace.Trace.load path in
+              let r =
+                Dt_runtime.Client.replay conn ~trace ~rate ~policy ~capacity_factor:factor ()
+              in
+              Printf.printf "trace %s: %d tasks replayed at rate %g (policy %s)\n"
+                trace.Dt_trace.Trace.name r.Dt_runtime.Client.submitted rate
+                (Dt_runtime.Engine.policy_name policy);
+              Printf.printf "  accepted %d, rejected %d\n" r.Dt_runtime.Client.accepted
+                r.Dt_runtime.Client.rejected;
+              Printf.printf "  online makespan  %.6g\n" r.Dt_runtime.Client.makespan;
+              Printf.printf "  offline makespan %.6g (clairvoyant, arrivals at 0)\n"
+                r.Dt_runtime.Client.offline_makespan;
+              Printf.printf "  online/offline   %s\n"
+                (Dt_report.Table.fmt_ratio
+                   (if r.Dt_runtime.Client.offline_makespan > 0.0 then
+                      r.Dt_runtime.Client.makespan /. r.Dt_runtime.Client.offline_makespan
+                    else 1.0));
+              Printf.printf "  throughput       %.0f req/s (wall %.3f s)\n"
+                r.Dt_runtime.Client.requests_per_s r.Dt_runtime.Client.wall_s;
+              Printf.printf "  latency          p50 %.3f ms, p99 %.3f ms\n"
+                (1e3 *. r.Dt_runtime.Client.p50_latency_s)
+                (1e3 *. r.Dt_runtime.Client.p99_latency_s);
+              Ok ()
+          | None ->
+              (* interactive mode: forward stdin lines, print responses *)
+              let rec loop () =
+                match input_line stdin with
+                | exception End_of_file -> ()
+                | line ->
+                    List.iter print_endline (Dt_runtime.Client.request_line conn line);
+                    flush stdout;
+                    let upper = String.uppercase_ascii (String.trim line) in
+                    if upper <> "QUIT" && upper <> "SHUTDOWN" then loop ()
+              in
+              Ok (loop ()))
+
+let client_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int 7464 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "t"; "trace" ] ~docv:"FILE"
+          ~doc:
+            "Load-generator mode: replay this trace against the server (without \
+             it, stdin is forwarded interactively).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "r"; "rate" ] ~docv:"R"
+          ~doc:
+            "Arrival rate for the replay: task $(i,i) arrives at virtual time \
+             $(i,i)/R (inf = clairvoyant, all tasks arrive at 0).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv (Dt_runtime.Engine.Corrected Dt_core.Corrected_rules.OOSCMR)
+      & info [ "H"; "policy" ] ~docv:"NAME"
+          ~doc:"Online policy: LCMR, SCMR, MAMR, OOLCMR, OOSCMR or OOMAMR.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Scheduling-service client and trace-replay load generator")
+    Term.(term_result (const client $ host $ port $ trace $ rate $ policy $ factor_arg))
 
 (* ------------------------------------------------------------------ *)
 (* chem                                                                 *)
@@ -365,5 +549,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; run_cmd; compare_cmd; recommend_cmd; gantt_cmd; svg_cmd; fleet_cmd;
-            workchar_cmd; chem_cmd;
+            workchar_cmd; chem_cmd; serve_cmd; client_cmd;
           ]))

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Per-PR smoke: build, full test suite, then the parallel fleet path
-# end-to-end (scaling experiment at reduced workload sizes). Run from the
-# repository root.
+# Per-PR smoke: build, full test suite, the parallel fleet path
+# end-to-end (scaling experiment at reduced workload sizes), the online
+# runtime bench, and a real TCP serve/client loopback round trip. Run
+# from the repository root.
 set -eu
 
 echo "== dune build =="
@@ -10,10 +11,74 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+DTSCHED=./_build/default/bin/dtsched.exe
+
+echo "== serve/client loopback smoke =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$DTSCHED" serve -p 0 --port-file "$tmp/port" >"$tmp/server.log" 2>&1 &
+server_pid=$!
+i=0
+while [ ! -s "$tmp/port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: server did not write its port file" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+port=$(cat "$tmp/port")
+echo "server listening on port $port"
+
+# Scripted session: 20 identical tasks (comm 1, comp 0.5, mem 1) on
+# capacity 10, all arrivals at 0. The link serialises the transfers, so
+# the clairvoyant (= offline, by the engine's degeneration property)
+# makespan is 20 + 0.5 = 20.5 exactly.
+{
+  echo "INIT 10 OOSCMR"
+  i=0
+  while [ "$i" -lt 20 ]; do
+    echo "SUBMIT t$i 1 0.5 1"
+    i=$((i + 1))
+  done
+  echo "STATS"
+  echo "DRAIN"
+  echo "QUIT"
+} | "$DTSCHED" client -p "$port" >"$tmp/session.out"
+grep -q "makespan=20.5 scheduled=20" "$tmp/session.out" || {
+  echo "FAIL: 20-task drain did not match the offline makespan 20.5:" >&2
+  cat "$tmp/session.out" >&2
+  exit 1
+}
+echo "20-task session OK (drained makespan 20.5 = offline)"
+
+# Trace replay at rate inf: every arrival is 0, so the online schedule
+# must equal the offline clairvoyant one bit for bit (ratio 1.000).
+"$DTSCHED" gen -k hf -n 1 -o "$tmp/traces" >/dev/null
+"$DTSCHED" client -p "$port" -t "$tmp/traces/hf-p000.trace" -r inf \
+  >"$tmp/replay.out"
+cat "$tmp/replay.out"
+grep -q "online/offline   1.000" "$tmp/replay.out" || {
+  echo "FAIL: rate-inf replay diverged from the offline schedule" >&2
+  exit 1
+}
+
+printf 'SHUTDOWN\n' | "$DTSCHED" client -p "$port" >/dev/null
+wait "$server_pid"
+echo "server shut down cleanly"
+
 echo "== scaling experiment (fast workload) =="
 EXPERIMENTS=scaling DTSCHED_FAST=1 dune exec bench/main.exe
 
+echo "== online experiment (fast workload) =="
+EXPERIMENTS=online DTSCHED_FAST=1 dune exec bench/main.exe
+
 echo "== BENCH_fleet.json =="
 cat BENCH_fleet.json
+
+echo "== BENCH_runtime.json =="
+cat BENCH_runtime.json
 
 echo "ci.sh: all green"

@@ -48,6 +48,10 @@ let process_releases_until st time =
   in
   loop ()
 
+let next_release_time st = Option.map fst (Queue.peek_opt st.releases)
+
+let advance_link_to st time = if time > st.link_free then st.link_free <- time
+
 let advance_to_next_release st =
   match Queue.peek_opt st.releases with
   | None -> false

@@ -37,6 +37,17 @@ val cpu_free_time : state -> float
 val memory_in_use : state -> float
 (** Memory currently held, {e before} processing any pending release. *)
 
+val next_release_time : state -> float option
+(** Earliest pending memory-release instant (computation completion), if
+    any. Unlike {!advance_to_next_release} this does not consume the
+    event; online engines use it to compare the next release against the
+    next task arrival before deciding which event to advance to. *)
+
+val advance_link_to : state -> float -> unit
+(** Move the link availability forward to the given instant (no-op when
+    the link is already free later). Used by arrival-aware engines to
+    wait for the next task arrival. *)
+
 val advance_to_next_release : state -> bool
 (** Move the link availability to the next memory-release instant (used by
     dynamic heuristics when no pending task fits). Returns [false] when

@@ -39,14 +39,23 @@ let worker pool =
   loop ()
 
 let default_num_domains () =
-  match Option.bind (Sys.getenv_opt "DTSCHED_DOMAINS") int_of_string_opt with
-  | Some n when n > 0 -> n
-  | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1)
+  match Sys.getenv_opt "DTSCHED_DOMAINS" with
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf
+               "DTSCHED_DOMAINS must be a positive integer (got %S)" s))
 
 let create ?num_domains () =
   let n =
     match num_domains with
-    | Some n -> max 1 n
+    | Some n when n > 0 -> n
+    | Some n ->
+        invalid_arg
+          (Printf.sprintf "Pool.create: num_domains must be positive (got %d)" n)
     | None -> default_num_domains ()
   in
   let pool =

@@ -20,9 +20,11 @@ type t
 
 val create : ?num_domains:int -> unit -> t
 (** [create ()] spawns the worker domains. [num_domains] is the number of
-    computing domains (clamped to at least 1); when omitted it is taken
-    from the [DTSCHED_DOMAINS] environment variable if set to a positive
-    integer, and otherwise defaults to
+    computing domains and must be positive — zero or negative raises
+    [Invalid_argument] (CLI layers should catch and report it); when
+    omitted it is taken from the [DTSCHED_DOMAINS] environment variable,
+    which must then hold a positive integer (anything else raises
+    [Invalid_argument]), and otherwise defaults to
     [Domain.recommended_domain_count () - 1] (at least 1), leaving one
     core's worth of slack for the coordinating thread. *)
 
@@ -46,8 +48,10 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
     calling domain. Calling after {!shutdown} raises [Invalid_argument]. *)
 
 val shutdown : t -> unit
-(** Terminate and join the worker domains. Idempotent. The pool cannot be
-    used afterwards. *)
+(** Terminate and join the worker domains. Calling it again is a defined
+    no-op (the first call joins, later calls return immediately), and
+    any subsequent {!parallel_map} raises [Invalid_argument] — both are
+    regression-tested. *)
 
 val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,

@@ -1,0 +1,156 @@
+open Dt_core
+
+type connection = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close conn =
+  (try close_out conn.oc with Sys_error _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* [OK new=3 ...] and [OK n=3] announce that many extra ENTRY lines. *)
+let announced_lines head =
+  let count_of key =
+    String.split_on_char ' ' head
+    |> List.find_map (fun field ->
+           match String.split_on_char '=' field with
+           | [ k; v ] when k = key -> int_of_string_opt v
+           | _ -> None)
+  in
+  match count_of "new" with
+  | Some n -> n
+  | None -> ( match count_of "n" with Some n -> n | None -> 0)
+
+let read_response conn ~framed =
+  match input_line conn.ic with
+  | exception End_of_file -> failwith "Client: server closed the connection"
+  | head ->
+      let extra = if framed then announced_lines head else 0 in
+      let rec read k acc =
+        if k = 0 then List.rev acc
+        else
+          match input_line conn.ic with
+          | exception End_of_file ->
+              failwith "Client: server closed the connection mid-response"
+          | line -> read (k - 1) (line :: acc)
+      in
+      head :: read extra []
+
+let send conn line =
+  output_string conn.oc (line ^ "\n");
+  flush conn.oc
+
+let framed_request = function
+  | Protocol.Poll | Protocol.Entries -> true
+  | _ -> false
+
+let request conn req =
+  send conn (Protocol.render_request req);
+  read_response conn ~framed:(framed_request req)
+
+let request_line conn line =
+  send conn line;
+  let framed =
+    match Protocol.parse_request line with
+    | Ok req -> framed_request req
+    | Error _ -> false
+  in
+  read_response conn ~framed
+
+let response_field key line =
+  String.split_on_char ' ' line
+  |> List.find_map (fun field ->
+         match String.split_on_char '=' field with
+         | [ k; v ] when k = key -> float_of_string_opt v
+         | _ -> None)
+
+type replay = {
+  makespan : float;
+  offline_makespan : float;
+  submitted : int;
+  accepted : int;
+  rejected : int;
+  wall_s : float;
+  requests_per_s : float;
+  p50_latency_s : float;
+  p99_latency_s : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (Float.of_int (n - 1) *. q +. 0.5)))
+
+let expect_ok what = function
+  | line :: _ when String.length line >= 2 && String.sub line 0 2 = "OK" -> line
+  | line :: _ -> failwith (Printf.sprintf "Client: %s failed: %s" what line)
+  | [] -> failwith (Printf.sprintf "Client: %s: empty response" what)
+
+let replay conn ~trace ~rate ?(policy = Engine.Corrected Corrected_rules.OOSCMR)
+    ?(capacity_factor = 1.5) () =
+  let capacity = Dt_trace.Trace.min_capacity trace *. capacity_factor in
+  let tasks = trace.Dt_trace.Trace.tasks in
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (expect_ok "INIT"
+       (request conn (Protocol.Init { capacity; policy; queue_limit = None })));
+  let latencies = ref [] in
+  let accepted = ref 0 and rejected = ref 0 and submitted = ref 0 in
+  List.iteri
+    (fun i (task : Task.t) ->
+      let arrival = if rate = Float.infinity then 0.0 else Float.of_int i /. rate in
+      let req =
+        Protocol.Submit
+          {
+            label = task.Task.label;
+            comm = task.Task.comm;
+            comp = task.Task.comp;
+            mem = task.Task.mem;
+            arrival;
+          }
+      in
+      let s0 = Unix.gettimeofday () in
+      let response = request conn req in
+      latencies := (Unix.gettimeofday () -. s0) :: !latencies;
+      incr submitted;
+      match response with
+      | line :: _ when String.length line >= 2 && String.sub line 0 2 = "OK" ->
+          incr accepted
+      | _ -> incr rejected)
+    tasks;
+  let drain_line = expect_ok "DRAIN" (request conn Protocol.Drain) in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let makespan =
+    match response_field "makespan" drain_line with
+    | Some m -> m
+    | None -> failwith "Client: DRAIN response has no makespan"
+  in
+  let offline =
+    let engine = Engine.create ~policy ~capacity () in
+    List.iter (fun task -> ignore (Engine.submit engine task)) tasks;
+    Schedule.makespan (Engine.drain engine)
+  in
+  let sorted = Array.of_list !latencies in
+  Array.sort Float.compare sorted;
+  let requests = !submitted + 2 in
+  {
+    makespan;
+    offline_makespan = offline;
+    submitted = !submitted;
+    accepted = !accepted;
+    rejected = !rejected;
+    wall_s;
+    requests_per_s = (if wall_s > 0.0 then Float.of_int requests /. wall_s else 0.0);
+    p50_latency_s = percentile sorted 0.5;
+    p99_latency_s = percentile sorted 0.99;
+  }

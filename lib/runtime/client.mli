@@ -1,0 +1,53 @@
+(** Client side of the [dtsched] service: a line-oriented connection with
+    response framing, plus the load generator that replays an HF/CCSD
+    trace against a server at a configurable arrival rate. *)
+
+type connection
+
+val connect : ?host:string -> port:int -> unit -> connection
+(** TCP connection to a running server (host defaults to
+    ["127.0.0.1"]). Raises [Unix.Unix_error] on refusal. *)
+
+val close : connection -> unit
+
+val request : connection -> Protocol.request -> string list
+(** Send one request and read the complete (possibly multi-line)
+    response: the first [OK]/[ERR] line plus, for [POLL] ([new=<k>]) and
+    [ENTRIES] ([n=<k>]), the [k] announced [ENTRY] lines. Raises
+    [Failure] when the server closes the stream mid-response. *)
+
+val request_line : connection -> string -> string list
+(** Like {!request} but for a raw request line (interactive mode: the
+    line is sent verbatim, framing inferred from the response). *)
+
+val response_field : string -> string -> float option
+(** [response_field key line] extracts [<key>=<float>] from a response
+    payload, e.g. [response_field "makespan" "OK makespan=42 scheduled=9"]. *)
+
+type replay = {
+  makespan : float;        (** online makespan reported by DRAIN *)
+  offline_makespan : float;(** clairvoyant offline run of the same policy *)
+  submitted : int;
+  accepted : int;
+  rejected : int;          (** busy/toobig refusals (counted, not retried) *)
+  wall_s : float;          (** wall-clock time of the whole replay *)
+  requests_per_s : float;
+  p50_latency_s : float;   (** per-request round-trip latency percentiles *)
+  p99_latency_s : float;
+}
+
+val replay :
+  connection ->
+  trace:Dt_trace.Trace.t ->
+  rate:float ->
+  ?policy:Engine.policy ->
+  ?capacity_factor:float ->
+  unit ->
+  replay
+(** Replay [trace] against the server: [INIT] a session at
+    [capacity_factor] (default [1.5]) times the trace's [m_c], then
+    [SUBMIT] task [i] with arrival time [i / rate] (virtual time;
+    [rate = infinity] degenerates to the clairvoyant all-at-zero case),
+    then [DRAIN]. The offline reference runs the same policy in-process
+    with every arrival at [0.]. Raises [Failure] when the server answers
+    [ERR] to INIT or DRAIN. *)

@@ -1,0 +1,183 @@
+open Dt_core
+
+type policy =
+  | Dynamic of Dynamic_rules.criterion
+  | Corrected of Corrected_rules.rule
+
+let all_policies =
+  List.map (fun c -> Dynamic c) Dynamic_rules.all
+  @ List.map (fun r -> Corrected r) Corrected_rules.all
+
+let policy_name = function
+  | Dynamic c -> Dynamic_rules.name c
+  | Corrected r -> Corrected_rules.name r
+
+let policy_of_name s =
+  let s = String.uppercase_ascii s in
+  List.find_opt (fun p -> policy_name p = s) all_policies
+
+type admission =
+  | Accepted
+  | Rejected_queue_full of int
+  | Rejected_too_big of float
+
+let admission_to_string = function
+  | Accepted -> "accepted"
+  | Rejected_queue_full n -> Printf.sprintf "queue full (limit %d)" n
+  | Rejected_too_big c -> Printf.sprintf "task exceeds capacity %g" c
+
+type t = {
+  capacity : float;
+  policy : policy;
+  queue_limit : int;
+  st : Sim.state;
+  mutable future : (float * Task.t) list;
+      (* not yet arrived, sorted by (arrival, id) *)
+  mutable arrived : Task.t list; (* arrived, unscheduled, in arrival order *)
+  mutable n_pending : int;
+  mutable n_scheduled : int;
+  mutable n_rejected : int;
+  mutable entries : Schedule.entry list; (* scheduled so far, reversed *)
+  mutable fresh : Schedule.entry list; (* since the last take, reversed *)
+}
+
+let create ?(policy = Corrected Corrected_rules.OOSCMR) ?(queue_limit = 65536)
+    ~capacity () =
+  if not (capacity > 0.0) then invalid_arg "Engine.create: capacity must be positive";
+  if queue_limit <= 0 then invalid_arg "Engine.create: queue_limit must be positive";
+  {
+    capacity;
+    policy;
+    queue_limit;
+    st = Sim.initial_state ();
+    future = [];
+    arrived = [];
+    n_pending = 0;
+    n_scheduled = 0;
+    n_rejected = 0;
+    entries = [];
+    fresh = [];
+  }
+
+let capacity t = t.capacity
+let policy t = t.policy
+let queue_limit t = t.queue_limit
+let pending t = t.n_pending
+let scheduled t = t.n_scheduled
+let rejected t = t.n_rejected
+let now t = Sim.link_free_time t.st
+let makespan t = if t.entries = [] then 0.0 else Sim.cpu_free_time t.st
+
+let submit t ?(arrival = 0.0) (task : Task.t) =
+  if Float.is_nan arrival || arrival < 0.0 || arrival = Float.infinity then
+    invalid_arg "Engine.submit: arrival must be finite and non-negative";
+  if task.Task.mem > t.capacity *. (1.0 +. 1e-12) then begin
+    t.n_rejected <- t.n_rejected + 1;
+    Rejected_too_big t.capacity
+  end
+  else if t.n_pending >= t.queue_limit then begin
+    t.n_rejected <- t.n_rejected + 1;
+    Rejected_queue_full t.queue_limit
+  end
+  else begin
+    (* insertion sort by (arrival, id): submissions are usually already in
+       arrival order, so this is O(1) amortised for the common case *)
+    let rec insert = function
+      | [] -> [ (arrival, task) ]
+      | ((a, u) :: rest) as l ->
+          if
+            a > arrival
+            || (a = arrival && Task.compare_id u task > 0)
+          then (arrival, task) :: l
+          else (a, u) :: insert rest
+    in
+    t.future <- insert t.future;
+    t.n_pending <- t.n_pending + 1;
+    Accepted
+  end
+
+(* Move every task whose arrival has been reached into the arrived set,
+   preserving (arrival, id) order. *)
+let promote t =
+  let time = Sim.link_free_time t.st in
+  let rec split acc = function
+    | (a, task) :: rest when a <= time -> split (task :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let ready, future = split [] t.future in
+  if ready <> [] then begin
+    t.future <- future;
+    t.arrived <- t.arrived @ ready
+  end
+
+let take_task t (task : Task.t) =
+  let entry = Sim.schedule_task t.st ~capacity:t.capacity task in
+  t.arrived <- List.filter (fun (u : Task.t) -> u.Task.id <> task.Task.id) t.arrived;
+  t.entries <- entry :: t.entries;
+  t.fresh <- entry :: t.fresh;
+  t.n_pending <- t.n_pending - 1;
+  t.n_scheduled <- t.n_scheduled + 1
+
+(* One decision point: schedule a task, or advance virtual time to the
+   next event, or report starvation (nothing submitted is left). *)
+let rec step t =
+  promote t;
+  match (t.arrived, t.future) with
+  | [], [] -> false
+  | [], (a, _) :: _ ->
+      Sim.advance_link_to t.st a;
+      step t
+  | arrived, future -> (
+      let fits (task : Task.t) = Sim.fits_now t.st ~capacity:t.capacity task.Task.mem in
+      let select criterion candidates =
+        Dynamic_rules.select criterion ~cpu_free:(Sim.cpu_free_time t.st)
+          ~now:(Sim.link_free_time t.st) candidates
+      in
+      let choice =
+        match t.policy with
+        | Dynamic criterion -> select criterion (List.filter fits arrived)
+        | Corrected rule -> (
+            (* Johnson's order over the known suffix; identical to following
+               the offline OMIM order because sorting a subset under the
+               same strict total order yields the induced subsequence *)
+            match Johnson.order arrived with
+            | next :: _ when fits next -> Some next
+            | _ ->
+                select (Corrected_rules.criterion rule) (List.filter fits arrived))
+      in
+      match choice with
+      | Some task ->
+          take_task t task;
+          true
+      | None -> (
+          (* nothing arrived fits: advance to the earlier of the next
+             memory release and the next arrival *)
+          let next_arrival = match future with [] -> None | (a, _) :: _ -> Some a in
+          match (Sim.next_release_time t.st, next_arrival) with
+          | None, None ->
+              (* every arrived task fits the capacity alone, so with no
+                 memory held something must fit *)
+              assert false
+          | Some r, Some a when a < r ->
+              Sim.advance_link_to t.st a;
+              step t
+          | Some _, _ ->
+              let advanced = Sim.advance_to_next_release t.st in
+              assert advanced;
+              step t
+          | None, Some a ->
+              Sim.advance_link_to t.st a;
+              step t))
+
+let schedule t = Schedule.make ~capacity:t.capacity (List.rev t.entries)
+
+let drain t =
+  while step t do
+    ()
+  done;
+  schedule t
+
+let take_new_entries t =
+  let taken = List.rev t.fresh in
+  t.fresh <- [];
+  taken

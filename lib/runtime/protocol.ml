@@ -1,0 +1,107 @@
+type request =
+  | Init of { capacity : float; policy : Engine.policy; queue_limit : int option }
+  | Submit of { label : string; comm : float; comp : float; mem : float; arrival : float }
+  | Poll
+  | Entries
+  | Stats
+  | Drain
+  | Quit
+  | Shutdown
+
+let fields line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let finite_float ~what s =
+  match float_of_string_opt s with
+  | Some v when Float.is_nan v -> Error (Printf.sprintf "%s: NaN is not a value" what)
+  | Some v when v = Float.infinity || v = Float.neg_infinity ->
+      Error (Printf.sprintf "%s: must be finite" what)
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: not a number (%S)" what s)
+
+let nonneg_float ~what s =
+  Result.bind (finite_float ~what s) (fun v ->
+      if v < 0.0 then Error (Printf.sprintf "%s: must be non-negative (%g)" what v)
+      else Ok v)
+
+let pos_float ~what s =
+  Result.bind (finite_float ~what s) (fun v ->
+      if v <= 0.0 then Error (Printf.sprintf "%s: must be positive (%g)" what v)
+      else Ok v)
+
+let ( let* ) = Result.bind
+
+let parse_submit = function
+  | label :: comm :: comp :: mem :: rest ->
+      let* comm = nonneg_float ~what:"comm" comm in
+      let* comp = nonneg_float ~what:"comp" comp in
+      let* mem = nonneg_float ~what:"mem" mem in
+      let* arrival =
+        match rest with
+        | [] -> Ok 0.0
+        | [ a ] -> nonneg_float ~what:"arrival" a
+        | _ -> Error "SUBMIT: too many fields"
+      in
+      Ok (Submit { label; comm; comp; mem; arrival })
+  | _ -> Error "SUBMIT: expected <label> <comm> <comp> <mem> [<arrival>]"
+
+let parse_init = function
+  | capacity :: rest ->
+      let* capacity = pos_float ~what:"capacity" capacity in
+      let* policy, rest =
+        match rest with
+        | [] -> Ok (Engine.Corrected Dt_core.Corrected_rules.OOSCMR, [])
+        | p :: rest -> (
+            match Engine.policy_of_name p with
+            | Some policy -> Ok (policy, rest)
+            | None -> Error (Printf.sprintf "unknown policy %S" p))
+      in
+      let* queue_limit =
+        match rest with
+        | [] -> Ok None
+        | [ q ] -> (
+            match int_of_string_opt q with
+            | Some n when n > 0 -> Ok (Some n)
+            | Some _ | None ->
+                Error (Printf.sprintf "queue-limit: not a positive integer (%S)" q))
+        | _ -> Error "INIT: too many fields"
+      in
+      Ok (Init { capacity; policy; queue_limit })
+  | [] -> Error "INIT: expected <capacity> [<policy> [<queue-limit>]]"
+
+let no_args name request = function
+  | [] -> Ok request
+  | _ -> Error (name ^ ": takes no arguments")
+
+let parse_request line =
+  match fields line with
+  | [] -> Error "empty request"
+  | verb :: rest -> (
+      match String.uppercase_ascii verb with
+      | "INIT" -> parse_init rest
+      | "SUBMIT" -> parse_submit rest
+      | "POLL" -> no_args "POLL" Poll rest
+      | "ENTRIES" -> no_args "ENTRIES" Entries rest
+      | "STATS" -> no_args "STATS" Stats rest
+      | "DRAIN" -> no_args "DRAIN" Drain rest
+      | "QUIT" -> no_args "QUIT" Quit rest
+      | "SHUTDOWN" -> no_args "SHUTDOWN" Shutdown rest
+      | v -> Error (Printf.sprintf "unknown command %S" v))
+
+let render_request = function
+  | Init { capacity; policy; queue_limit } ->
+      Printf.sprintf "INIT %.17g %s%s" capacity (Engine.policy_name policy)
+        (match queue_limit with None -> "" | Some q -> Printf.sprintf " %d" q)
+  | Submit { label; comm; comp; mem; arrival } ->
+      Printf.sprintf "SUBMIT %s %.17g %.17g %.17g %.17g" label comm comp mem arrival
+  | Poll -> "POLL"
+  | Entries -> "ENTRIES"
+  | Stats -> "STATS"
+  | Drain -> "DRAIN"
+  | Quit -> "QUIT"
+  | Shutdown -> "SHUTDOWN"
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let ok payload = "OK " ^ one_line payload
+let err ~code msg = Printf.sprintf "ERR %s %s" code (one_line msg)

@@ -1,0 +1,53 @@
+(** Wire protocol of the [dtsched] scheduling service.
+
+    Newline-delimited text, one request per line, fields separated by
+    single spaces. Grammar (full reference, also reproduced in README):
+
+    {v
+request   = init | submit | poll | entries | stats | drain | quit
+          | shutdown
+init      = "INIT" SP capacity [SP policy [SP queue-limit]]
+submit    = "SUBMIT" SP label SP comm SP comp SP mem [SP arrival]
+poll      = "POLL"
+entries   = "ENTRIES"
+stats     = "STATS"
+drain     = "DRAIN"
+quit      = "QUIT"
+shutdown  = "SHUTDOWN"
+capacity  = positive float        policy = "LCMR" / "SCMR" / "MAMR" /
+comm      = non-negative float             "OOLCMR" / "OOSCMR" / "OOMAMR"
+comp      = non-negative float    queue-limit = positive integer
+mem       = non-negative float    arrival     = non-negative float
+label     = 1*(VCHAR without SP)
+    v}
+
+    Responses are a single [OK ...] or [ERR <code> <message>] line,
+    except [ENTRIES] (head line [OK n=<k>]) and [POLL] (head line
+    [OK new=<k> ...]), whose head is followed by [k] lines
+    [ENTRY <id> <label> <s_comm> <s_comp>]. Error codes: [parse]
+    (malformed request), [state] (e.g. SUBMIT before INIT), [busy]
+    (pending queue full — backpressure), [toobig] (task exceeds the
+    session capacity). Requests before [INIT] other than [QUIT] /
+    [SHUTDOWN] / [STATS] are [ERR state]. *)
+
+type request =
+  | Init of { capacity : float; policy : Engine.policy; queue_limit : int option }
+  | Submit of { label : string; comm : float; comp : float; mem : float; arrival : float }
+  | Poll
+  | Entries
+  | Stats
+  | Drain
+  | Quit
+  | Shutdown
+
+val parse_request : string -> (request, string) result
+(** Parse one request line (without the trailing newline). The error
+    string is human-readable and becomes the payload of [ERR parse]. *)
+
+val render_request : request -> string
+(** Inverse of {!parse_request} (canonical spelling); used by clients. *)
+
+val ok : string -> string
+val err : code:string -> string -> string
+(** Response-line constructors ([OK ...] / [ERR <code> ...]); newlines in
+    the payload are replaced by spaces so one response is one line. *)

@@ -1,0 +1,112 @@
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  stop : bool Atomic.t;
+}
+
+let create ?(host = "127.0.0.1") ~port () =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  (try Unix.bind fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  { listen_fd = fd; port; stop = Atomic.make false }
+
+let port t = t.port
+
+(* Serve one accepted connection to completion. Runs on a pool domain
+   when several clients arrived together; all session state is local. *)
+let handle_connection stop fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let session = Session.create () in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        let responses, control = Session.handle_line session line in
+        List.iter (fun r -> output_string oc (r ^ "\n")) responses;
+        flush oc;
+        (match control with
+        | Session.Continue -> loop ()
+        | Session.Close_session -> ()
+        | Session.Stop_server -> Atomic.set stop true)
+  in
+  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let install_signal_handlers stop =
+  let previous = ref [] in
+  List.iter
+    (fun signal ->
+      match
+        Sys.signal signal (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+      with
+      | old -> previous := (signal, old) :: !previous
+      | exception (Invalid_argument _ | Sys_error _) -> ())
+    [ Sys.sigint; Sys.sigterm ];
+  fun () ->
+    List.iter
+      (fun (s, old) ->
+        try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ())
+      !previous
+
+let run ?pool ?on_listen t =
+  let restore = install_signal_handlers t.stop in
+  (match on_listen with None -> () | Some f -> f t.port);
+  let batch_limit = match pool with None -> 1 | Some p -> Dt_par.Pool.num_domains p in
+  Fun.protect
+    ~finally:(fun () ->
+      restore ();
+      try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not (Atomic.get t.stop) do
+        (* wait, interruptibly, for at least one pending connection *)
+        match Unix.select [ t.listen_fd ] [] [] 0.2 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ ->
+            (* batch every connection that is ready right now (capped by
+               the pool width) and serve the batch in parallel *)
+            let batch = ref [] in
+            let rec gather n =
+              if n > 0 then
+                match Unix.select [ t.listen_fd ] [] [] 0.0 with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | [], _, _ -> ()
+                | _ -> (
+                    match Unix.accept t.listen_fd with
+                    | exception Unix.Unix_error (_, _, _) -> ()
+                    | fd, _ ->
+                        batch := fd :: !batch;
+                        gather (n - 1))
+            in
+            gather (max 1 batch_limit);
+            let connections = Array.of_list (List.rev !batch) in
+            (match pool with
+            | Some p when Array.length connections > 1 ->
+                ignore
+                  (Dt_par.Pool.parallel_map p (handle_connection t.stop) connections)
+            | _ -> Array.iter (handle_connection t.stop) connections)
+      done)
+
+let serve_stdio () =
+  let session = Session.create () in
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+        let responses, control = Session.handle_line session line in
+        List.iter print_endline responses;
+        flush stdout;
+        (match control with Session.Continue -> loop () | _ -> ())
+  in
+  loop ()

@@ -1,0 +1,35 @@
+(** The [dtsched serve] network service: a TCP (and stdin/stdout) server
+    speaking the newline-delimited protocol of {!Protocol}, one
+    {!Session} per connection.
+
+    Concurrency model: the listener batches the connections that are
+    ready at the same instant and serves each batch through
+    {!Dt_par.Pool.parallel_map}, so simultaneous clients run on separate
+    domains while a lone client is served directly on the accept loop
+    (the pool's fork/join shape — PR 1 — maps exactly onto this).
+    Sessions are fully independent: each owns its engine, so no lock is
+    shared across domains.
+
+    Graceful shutdown: a [SHUTDOWN] request, SIGINT or SIGTERM stops the
+    accept loop; connections already being served finish their session
+    first, then the listening socket closes. *)
+
+type t
+
+val create : ?host:string -> port:int -> unit -> t
+(** Bind and listen on [host] (default ["127.0.0.1"]) : [port]; [port 0]
+    picks a free port. Raises [Unix.Unix_error] when binding fails. *)
+
+val port : t -> int
+(** The actually bound port (useful after [port 0]). *)
+
+val run : ?pool:Dt_par.Pool.t -> ?on_listen:(int -> unit) -> t -> unit
+(** Serve until a [SHUTDOWN] request or a termination signal arrives,
+    then close the listener. [on_listen] is called once with the bound
+    port just before the first accept (the CLI prints/writes the port
+    there, so scripts can synchronise). Without a [pool], every batch is
+    served sequentially. *)
+
+val serve_stdio : unit -> unit
+(** Serve exactly one session over stdin/stdout (requests in, responses
+    out), returning on [QUIT], [SHUTDOWN] or end of input. *)

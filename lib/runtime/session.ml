@@ -1,0 +1,112 @@
+open Dt_core
+
+type t = {
+  mutable engine : Engine.t option;
+  mutable next_id : int; (* task ids are the session submission order *)
+}
+
+let create () = { engine = None; next_id = 0 }
+let engine t = t.engine
+
+type control = Continue | Close_session | Stop_server
+
+let strip line =
+  let n = String.length line in
+  let stop = ref n in
+  while !stop > 0 && (line.[!stop - 1] = '\n' || line.[!stop - 1] = '\r') do
+    decr stop
+  done;
+  String.sub line 0 !stop
+
+let stats_line t =
+  match t.engine with
+  | None -> Protocol.ok "uninitialised"
+  | Some e ->
+      Protocol.ok
+        (Printf.sprintf
+           "scheduled=%d pending=%d rejected=%d now=%.17g makespan=%.17g"
+           (Engine.scheduled e) (Engine.pending e) (Engine.rejected e)
+           (Engine.now e) (Engine.makespan e))
+
+let with_engine t f =
+  match t.engine with
+  | None -> [ Protocol.err ~code:"state" "not initialised: send INIT first" ]
+  | Some e -> f e
+
+let handle_request t (request : Protocol.request) =
+  match request with
+  | Quit -> ([ Protocol.ok "bye" ], Close_session)
+  | Shutdown -> ([ Protocol.ok "shutting down" ], Stop_server)
+  | Stats -> ([ stats_line t ], Continue)
+  | Init { capacity; policy; queue_limit } ->
+      (match t.engine with
+      | Some _ -> ([ Protocol.err ~code:"state" "already initialised" ], Continue)
+      | None ->
+          let e = Engine.create ~policy ?queue_limit ~capacity () in
+          t.engine <- Some e;
+          ( [
+              Protocol.ok
+                (Printf.sprintf "capacity=%.17g policy=%s queue=%d" capacity
+                   (Engine.policy_name policy) (Engine.queue_limit e));
+            ],
+            Continue ))
+  | Submit { label; comm; comp; mem; arrival } ->
+      ( with_engine t (fun e ->
+            let id = t.next_id in
+            let task = Task.make ~id ~label ~comm ~comp ~mem () in
+            match Engine.submit e ~arrival task with
+            | Engine.Accepted ->
+                t.next_id <- id + 1;
+                [ Protocol.ok (Printf.sprintf "accepted id=%d" id) ]
+            | Engine.Rejected_queue_full limit ->
+                [
+                  Protocol.err ~code:"busy"
+                    (Printf.sprintf "pending queue full (limit %d)" limit);
+                ]
+            | Engine.Rejected_too_big capacity ->
+                [
+                  Protocol.err ~code:"toobig"
+                    (Printf.sprintf "mem %g exceeds capacity %g" mem capacity);
+                ]),
+        Continue )
+  | Poll ->
+      ( with_engine t (fun e ->
+            let entries = Engine.take_new_entries e in
+            Protocol.ok
+              (Printf.sprintf "new=%d scheduled=%d pending=%d makespan=%.17g"
+                 (List.length entries) (Engine.scheduled e) (Engine.pending e)
+                 (Engine.makespan e))
+            :: List.map
+                 (fun (entry : Schedule.entry) ->
+                   Printf.sprintf "ENTRY %d %s %.17g %.17g" entry.Schedule.task.Task.id
+                     entry.Schedule.task.Task.label entry.Schedule.s_comm
+                     entry.Schedule.s_comp)
+                 entries),
+        Continue )
+  | Entries ->
+      ( with_engine t (fun e ->
+            let entries = Schedule.entries (Engine.schedule e) in
+            Protocol.ok (Printf.sprintf "n=%d" (List.length entries))
+            :: List.map
+                 (fun (entry : Schedule.entry) ->
+                   Printf.sprintf "ENTRY %d %s %.17g %.17g" entry.Schedule.task.Task.id
+                     entry.Schedule.task.Task.label entry.Schedule.s_comm
+                     entry.Schedule.s_comp)
+                 entries),
+        Continue )
+  | Drain ->
+      ( with_engine t (fun e ->
+            let sched = Engine.drain e in
+            [
+              Protocol.ok
+                (Printf.sprintf "makespan=%.17g scheduled=%d"
+                   (Schedule.makespan sched) (Engine.scheduled e));
+            ]),
+        Continue )
+
+let handle_line t line =
+  match Protocol.parse_request (strip line) with
+  | Error msg -> ([ Protocol.err ~code:"parse" msg ], Continue)
+  | Ok request -> (
+      try handle_request t request
+      with Invalid_argument msg -> ([ Protocol.err ~code:"state" msg ], Continue))

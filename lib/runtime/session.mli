@@ -1,0 +1,24 @@
+(** Per-connection protocol session: a small state machine wrapping one
+    {!Engine.t}, mapping request lines to response lines. It is pure with
+    respect to I/O (strings in, strings out), so the TCP server, the
+    stdio server, the in-process throughput bench and the tests all share
+    the exact same behaviour. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, uninitialised session: every request except [INIT], [STATS],
+    [QUIT] and [SHUTDOWN] answers [ERR state] until [INIT] arrives. *)
+
+val engine : t -> Engine.t option
+(** The engine created by [INIT], if any (exposed for tests/benches). *)
+
+type control =
+  | Continue            (** keep reading requests *)
+  | Close_session       (** client said [QUIT]: close this connection *)
+  | Stop_server         (** client said [SHUTDOWN]: close and stop serving *)
+
+val handle_line : t -> string -> string list * control
+(** Process one request line (trailing ['\n'] / ['\r'] tolerated) and
+    return the response lines, in order, plus what to do next. Malformed
+    input never raises: it yields a single [ERR parse ...] line. *)

@@ -21,37 +21,70 @@ let write oc t =
         tk.Dt_core.Task.comm tk.Dt_core.Task.comp tk.Dt_core.Task.mem)
     t.tasks
 
+type parse_error = { line : int; message : string }
+
+let parse_error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+(* Parsing never lets [Failure] escape from a conversion: every malformed
+   field — truncated record, non-numeric value, negative duration or
+   memory — becomes a located [parse_error]. *)
+let read_result ic =
+  let lineno = ref 0 in
+  let exception Bad of parse_error in
+  let fail message = raise (Bad { line = !lineno; message }) in
+  try
+    let header =
+      match input_line ic with
+      | header ->
+          incr lineno;
+          header
+      | exception End_of_file -> fail "empty stream"
+    in
+    let name =
+      match String.split_on_char ' ' header with
+      | "#" :: "dtsched-trace" :: "v1" :: rest when rest <> [] -> String.concat " " rest
+      | _ -> fail "bad header (expected '# dtsched-trace v1 <name>')"
+    in
+    let tasks = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         if String.length line > 0 && line.[0] <> '#' then
+           match String.split_on_char '\t' line with
+           | [ id; label; comm; comp; mem ] ->
+               let num what s =
+                 match float_of_string_opt s with
+                 | Some v when Float.is_nan v -> fail (what ^ ": NaN is not a value")
+                 | Some v when v < 0.0 ->
+                     fail (Printf.sprintf "%s: must be non-negative (got %s)" what s)
+                 | Some v -> v
+                 | None -> fail (Printf.sprintf "%s: not a number (got %S)" what s)
+               in
+               let id =
+                 match int_of_string_opt id with
+                 | Some v -> v
+                 | None -> fail (Printf.sprintf "id: not an integer (got %S)" id)
+               in
+               tasks :=
+                 Dt_core.Task.make ~label ~mem:(num "mem" mem) ~id ~comm:(num "comm" comm)
+                   ~comp:(num "comp" comp) ()
+                 :: !tasks
+           | fields ->
+               fail
+                 (Printf.sprintf "bad record: expected 5 tab-separated fields, got %d"
+                    (List.length fields))
+       done
+     with End_of_file -> ());
+    Ok { name; tasks = List.rev !tasks }
+  with
+  | Bad e -> Error e
+  | Invalid_argument message -> Error { line = !lineno; message }
+
 let read ic =
-  let header = try input_line ic with End_of_file -> failwith "Trace.read: empty stream" in
-  let name =
-    match String.split_on_char ' ' header with
-    | "#" :: "dtsched-trace" :: "v1" :: rest when rest <> [] -> String.concat " " rest
-    | _ -> failwith "Trace.read: bad header"
-  in
-  let tasks = ref [] in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.length line > 0 && line.[0] <> '#' then
-         match String.split_on_char '\t' line with
-         | [ id; label; comm; comp; mem ] ->
-             let num s =
-               match float_of_string_opt s with
-               | Some v -> v
-               | None -> failwith "Trace.read: bad number"
-             in
-             let id =
-               match int_of_string_opt id with
-               | Some v -> v
-               | None -> failwith "Trace.read: bad id"
-             in
-             tasks :=
-               Dt_core.Task.make ~label ~mem:(num mem) ~id ~comm:(num comm) ~comp:(num comp) ()
-               :: !tasks
-         | _ -> failwith "Trace.read: bad record"
-     done
-   with End_of_file -> ());
-  { name; tasks = List.rev !tasks }
+  match read_result ic with
+  | Ok t -> t
+  | Error e -> failwith ("Trace.read: " ^ parse_error_to_string e)
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
@@ -62,9 +95,14 @@ let save ~dir t =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc t);
   path
 
-let load path =
+let load_result path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_result ic)
+
+let load path =
+  match load_result path with
+  | Ok t -> t
+  | Error e -> failwith (Printf.sprintf "Trace.load: %s: %s" path (parse_error_to_string e))
 
 let of_task_lists ~prefix lists =
   Array.mapi (fun i tasks -> make ~name:(Printf.sprintf "%s-p%03d" prefix i) tasks) lists

@@ -22,14 +22,30 @@ val min_capacity : t -> float
 (** [m_c] of the trace: the largest single memory requirement. *)
 
 val write : out_channel -> t -> unit
+
+type parse_error = {
+  line : int;     (** 1-based line number in the stream *)
+  message : string;
+}
+
+val parse_error_to_string : parse_error -> string
+(** ["line <n>: <message>"]. *)
+
+val read_result : in_channel -> (t, parse_error) result
+(** Total parser: a truncated record, a non-numeric field, a negative
+    duration/memory or a bad header all come back as a located
+    [parse_error]; no [Failure] ever escapes a field conversion. *)
+
 val read : in_channel -> t
-(** Raises [Failure] on a malformed stream. *)
+(** Raises [Failure] with the located message on a malformed stream. *)
 
 val save : dir:string -> t -> string
 (** Writes [<dir>/<name>.trace] (creating [dir] if needed) and returns
     the path. *)
 
+val load_result : string -> (t, parse_error) result
 val load : string -> t
+(** Raises [Failure] (with path and line) on a malformed file. *)
 
 val save_set : dir:string -> prefix:string -> t array -> string list
 val load_set : dir:string -> prefix:string -> t array

@@ -21,4 +21,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("dag", Test_dag.suite);
       ("par", Test_par.suite);
+      ("runtime", Test_runtime.suite);
     ]

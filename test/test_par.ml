@@ -132,9 +132,38 @@ let auto_parallel_is_sequential () =
         (Schedule.makespan s_seq) (Schedule.makespan s_par))
     traces
 
+(* Regression: shutdown semantics are defined — double shutdown is a
+   no-op, any parallel_map afterwards (including the small-array fast
+   path) raises, and non-positive domain counts are rejected at create. *)
+let shutdown_is_defined () =
+  let p = Dt_par.Pool.create ~num_domains:2 () in
+  Alcotest.(check (array int))
+    "usable before shutdown" [| 1; 2; 3 |]
+    (Dt_par.Pool.parallel_map p succ [| 0; 1; 2 |]);
+  Dt_par.Pool.shutdown p;
+  Dt_par.Pool.shutdown p;
+  (* second call must return, not hang or double-join *)
+  let after = Invalid_argument "Pool.parallel_map: pool is shut down" in
+  Alcotest.check_raises "parallel_map after shutdown" after (fun () ->
+      ignore (Dt_par.Pool.parallel_map p succ (Array.init 64 Fun.id)));
+  Alcotest.check_raises "even on the sequential small-array path" after (fun () ->
+      ignore (Dt_par.Pool.parallel_map p succ [| 0 |]))
+
+let create_rejects_bad_sizes () =
+  List.iter
+    (fun n ->
+      Alcotest.check_raises
+        (Printf.sprintf "num_domains = %d" n)
+        (Invalid_argument
+           (Printf.sprintf "Pool.create: num_domains must be positive (got %d)" n))
+        (fun () -> ignore (Dt_par.Pool.create ~num_domains:n ())))
+    [ 0; -1; -8 ]
+
 let suite =
   [
     Alcotest.test_case "parallel_map on assorted sizes" `Quick map_matches_sequential;
+    Alcotest.test_case "shutdown is a defined no-op twice" `Quick shutdown_is_defined;
+    Alcotest.test_case "create rejects non-positive sizes" `Quick create_rejects_bad_sizes;
     Alcotest.test_case "exception propagation" `Quick exceptions_propagate;
     Alcotest.test_case "nested calls fall back to sequential" `Quick nested_calls_degrade;
     prop_parallel_map_is_map;

@@ -1,0 +1,315 @@
+(* dt_runtime: the online arrival-aware engine degenerates to the offline
+   heuristics when every arrival is 0 (bit for bit), arrival times are
+   honoured, admission control backpressures, and the wire protocol /
+   session / TCP server round-trip end to end. *)
+
+open Dt_core
+module Engine = Dt_runtime.Engine
+module Protocol = Dt_runtime.Protocol
+module Session = Dt_runtime.Session
+
+let offline_run policy instance =
+  match policy with
+  | Engine.Dynamic c -> Dynamic_rules.run c instance
+  | Engine.Corrected r -> Corrected_rules.run r instance
+
+let online_run policy instance =
+  let engine =
+    Engine.create ~policy ~capacity:instance.Instance.capacity ()
+  in
+  List.iter
+    (fun task -> assert (Engine.submit engine task = Engine.Accepted))
+    (Instance.task_list instance);
+  Engine.drain engine
+
+(* Bit-for-bit schedule identity: same tasks in the same slots with
+   exactly equal (not approximately equal) start times. *)
+let identical_schedules (a : Schedule.t) (b : Schedule.t) =
+  let ea = Schedule.entries a and eb = Schedule.entries b in
+  List.length ea = List.length eb
+  && List.for_all2
+       (fun (x : Schedule.entry) (y : Schedule.entry) ->
+         x.Schedule.task.Task.id = y.Schedule.task.Task.id
+         && x.Schedule.s_comm = y.Schedule.s_comm
+         && x.Schedule.s_comp = y.Schedule.s_comp)
+       ea eb
+
+let prop_zero_arrivals_are_offline =
+  Generators.prop_test ~count:250
+    ~name:"arrivals at 0: online engine = offline rules, bit for bit"
+    (Generators.instance_gen ~max_size:10 ())
+    (fun instance ->
+      List.for_all
+        (fun policy ->
+          let offline = offline_run policy instance in
+          let online = online_run policy instance in
+          identical_schedules offline online
+          || QCheck2.Test.fail_reportf
+               "policy %s diverged: offline makespan %g, online %g"
+               (Engine.policy_name policy)
+               (Schedule.makespan offline) (Schedule.makespan online))
+        Engine.all_policies)
+
+let prop_online_schedules_valid =
+  Generators.prop_test ~count:150 ~name:"online schedules with arrivals are valid"
+    (Generators.instance_gen ~max_size:10 ())
+    (fun instance ->
+      List.for_all
+        (fun policy ->
+          let engine = Engine.create ~policy ~capacity:instance.Instance.capacity () in
+          List.iteri
+            (fun i task ->
+              (* deterministic staggered arrivals derived from the index *)
+              let arrival = Float.of_int (i mod 4) *. 0.75 in
+              assert (Engine.submit engine ~arrival task = Engine.Accepted))
+            (Instance.task_list instance);
+          let sched = Engine.drain engine in
+          Generators.check_feasible "online" instance sched
+          && Schedule.size sched = Instance.size instance)
+        Engine.all_policies)
+
+let arrivals_are_honoured () =
+  (* a lone task arriving at t = 5 cannot start its transfer earlier *)
+  let engine = Engine.create ~capacity:10.0 () in
+  let t = Task.make ~id:0 ~comm:1.0 ~comp:2.0 ~mem:1.0 () in
+  assert (Engine.submit engine ~arrival:5.0 t = Engine.Accepted);
+  let sched = Engine.drain engine in
+  (match Schedule.entries sched with
+  | [ e ] ->
+      Alcotest.(check (float 0.0)) "s_comm = arrival" 5.0 e.Schedule.s_comm;
+      Alcotest.(check (float 0.0)) "makespan" 8.0 (Schedule.makespan sched)
+  | _ -> Alcotest.fail "expected one entry");
+  (* a better task that has not arrived yet cannot be chosen: with equal
+     communication times (equal induced idle) MAMR prefers the high
+     acceleration task offline, but online it arrives too late *)
+  let a = Task.make ~id:0 ~comm:1.0 ~comp:1.0 ~mem:1.0 () in
+  let b = Task.make ~id:1 ~comm:1.0 ~comp:5.0 ~mem:1.0 () in
+  let offline =
+    offline_run (Engine.Dynamic Dynamic_rules.MAMR)
+      (Instance.make_keep_ids ~capacity:10.0 [ a; b ])
+  in
+  (match Schedule.entries offline with
+  | first :: _ ->
+      Alcotest.(check int) "offline MAMR picks the accelerated task first" 1
+        first.Schedule.task.Task.id
+  | [] -> Alcotest.fail "empty offline schedule");
+  let engine = Engine.create ~policy:(Engine.Dynamic Dynamic_rules.MAMR) ~capacity:10.0 () in
+  assert (Engine.submit engine ~arrival:0.0 a = Engine.Accepted);
+  assert (Engine.submit engine ~arrival:0.5 b = Engine.Accepted);
+  match Schedule.entries (Engine.drain engine) with
+  | first :: _ ->
+      Alcotest.(check int) "online must start what has arrived" 0
+        first.Schedule.task.Task.id
+  | [] -> Alcotest.fail "empty online schedule"
+
+let engine_is_resumable () =
+  (* draining, then submitting more, chains like batched scheduling *)
+  let engine = Engine.create ~capacity:4.0 () in
+  let mk id = Task.make ~id ~comm:1.0 ~comp:1.0 ~mem:1.0 () in
+  assert (Engine.submit engine (mk 0) = Engine.Accepted);
+  let first = Engine.drain engine in
+  Alcotest.(check (float 0.0)) "first batch makespan" 2.0 (Schedule.makespan first);
+  assert (Engine.submit engine ~arrival:10.0 (mk 1) = Engine.Accepted);
+  let second = Engine.drain engine in
+  Alcotest.(check int) "both batches in the schedule" 2 (Schedule.size second);
+  Alcotest.(check (float 0.0)) "second batch waited for its arrival" 12.0
+    (Schedule.makespan second)
+
+let admission_control () =
+  let engine = Engine.create ~queue_limit:2 ~capacity:5.0 () in
+  let mk id mem = Task.make ~id ~comm:1.0 ~comp:1.0 ~mem () in
+  Alcotest.(check bool) "too big rejected" true
+    (Engine.submit engine (mk 0 7.0) = Engine.Rejected_too_big 5.0);
+  assert (Engine.submit engine (mk 1 1.0) = Engine.Accepted);
+  assert (Engine.submit engine (mk 2 1.0) = Engine.Accepted);
+  Alcotest.(check bool) "backpressure at the queue bound" true
+    (Engine.submit engine (mk 3 1.0) = Engine.Rejected_queue_full 2);
+  Alcotest.(check int) "rejections counted" 2 (Engine.rejected engine);
+  ignore (Engine.drain engine);
+  Alcotest.(check bool) "queue drains, admission resumes" true
+    (Engine.submit engine (mk 3 1.0) = Engine.Accepted);
+  Alcotest.check_raises "negative arrival"
+    (Invalid_argument "Engine.submit: arrival must be finite and non-negative")
+    (fun () -> ignore (Engine.submit engine ~arrival:(-1.0) (mk 4 1.0)))
+
+(* ------------------------------ protocol ------------------------------ *)
+
+let protocol_parses () =
+  let ok s =
+    match Protocol.parse_request s with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "%S should parse, got: %s" s e
+  in
+  (match ok "SUBMIT a 1.5 2 3" with
+  | Protocol.Submit { label; comm; comp; mem; arrival } ->
+      Alcotest.(check string) "label" "a" label;
+      Alcotest.(check (float 0.0)) "comm" 1.5 comm;
+      Alcotest.(check (float 0.0)) "comp" 2.0 comp;
+      Alcotest.(check (float 0.0)) "mem" 3.0 mem;
+      Alcotest.(check (float 0.0)) "arrival defaults to 0" 0.0 arrival
+  | _ -> Alcotest.fail "wrong request");
+  (match ok "init 4.5 lcmr 16" with
+  | Protocol.Init { capacity; policy; queue_limit } ->
+      Alcotest.(check (float 0.0)) "capacity" 4.5 capacity;
+      Alcotest.(check string) "policy" "LCMR" (Engine.policy_name policy);
+      Alcotest.(check (option int)) "queue" (Some 16) queue_limit
+  | _ -> Alcotest.fail "wrong request");
+  List.iter
+    (fun r ->
+      match Protocol.parse_request (Protocol.render_request r) with
+      | Ok r' when r' = r -> ()
+      | Ok _ -> Alcotest.failf "roundtrip changed %S" (Protocol.render_request r)
+      | Error e -> Alcotest.failf "roundtrip failed on %S: %s" (Protocol.render_request r) e)
+    [
+      Protocol.Poll;
+      Protocol.Entries;
+      Protocol.Stats;
+      Protocol.Drain;
+      Protocol.Quit;
+      Protocol.Shutdown;
+      Protocol.Submit { label = "k7"; comm = 0.25; comp = 3.5; mem = 1.0; arrival = 9.0 };
+      Protocol.Init
+        { capacity = 2.5; policy = Engine.Dynamic Dynamic_rules.MAMR; queue_limit = Some 9 };
+    ]
+
+let protocol_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Protocol.parse_request s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should be rejected" s)
+    [
+      "";
+      "   ";
+      "NOPE";
+      "SUBMIT";
+      "SUBMIT a 1 2";            (* truncated *)
+      "SUBMIT a x 2 3";          (* non-numeric *)
+      "SUBMIT a 1 2 -3";         (* negative memory *)
+      "SUBMIT a nan 2 3";        (* NaN *)
+      "SUBMIT a 1 2 3 4 5";      (* too many fields *)
+      "INIT";
+      "INIT 0";                  (* capacity must be positive *)
+      "INIT 5 WAT";              (* unknown policy *)
+      "INIT 5 LCMR 0";           (* queue limit must be positive *)
+      "POLL now";
+      "DRAIN 3";
+    ]
+
+(* ------------------------------ session ------------------------------- *)
+
+let session_conversation () =
+  let s = Session.create () in
+  let one line =
+    match Session.handle_line s line with
+    | [ response ], Session.Continue -> response
+    | responses, _ -> String.concat " | " responses
+  in
+  let starts_with prefix line =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
+  Alcotest.(check bool) "SUBMIT before INIT is a state error" true
+    (starts_with "ERR state" (one "SUBMIT a 1 1 1"));
+  Alcotest.(check bool) "INIT ok" true (starts_with "OK" (one "INIT 6 OOSCMR 4"));
+  Alcotest.(check bool) "second INIT rejected" true
+    (starts_with "ERR state" (one "INIT 6"));
+  Alcotest.(check bool) "malformed is ERR parse, session survives" true
+    (starts_with "ERR parse" (one "SUBMIT a 1"));
+  Alcotest.(check bool) "submit" true (starts_with "OK accepted id=0" (one "SUBMIT a 2 1 2"));
+  Alcotest.(check bool) "submit" true (starts_with "OK accepted id=1" (one "SUBMIT b 1 3 1"));
+  Alcotest.(check bool) "toobig is its own error code" true
+    (starts_with "ERR toobig" (one "SUBMIT huge 1 1 99"));
+  (* POLL announces and frames its ENTRY lines *)
+  (match Session.handle_line s "DRAIN" with
+  | [ drain ], Session.Continue ->
+      let offline =
+        let i =
+          Instance.make_keep_ids ~capacity:6.0
+            [
+              Task.make ~id:0 ~label:"a" ~comm:2.0 ~comp:1.0 ~mem:2.0 ();
+              Task.make ~id:1 ~label:"b" ~comm:1.0 ~comp:3.0 ~mem:1.0 ();
+            ]
+        in
+        Schedule.makespan (Corrected_rules.run Corrected_rules.OOSCMR i)
+      in
+      Alcotest.(check (option (float 0.0)))
+        "DRAIN makespan equals the offline run" (Some offline)
+        (Dt_runtime.Client.response_field "makespan" drain)
+  | _ -> Alcotest.fail "DRAIN: expected a single OK line");
+  (match Session.handle_line s "POLL" with
+  | head :: entries, Session.Continue ->
+      Alcotest.(check (option (float 0.0)))
+        "POLL announces its entries" (Some 2.0)
+        (Dt_runtime.Client.response_field "new" head);
+      Alcotest.(check int) "and ships that many" 2 (List.length entries);
+      List.iter
+        (fun l -> Alcotest.(check bool) "ENTRY lines" true (starts_with "ENTRY" l))
+        entries
+  | _ -> Alcotest.fail "POLL: expected a framed response");
+  (match Session.handle_line s "QUIT" with
+  | _, Session.Close_session -> ()
+  | _ -> Alcotest.fail "QUIT must close the session");
+  let s2 = Session.create () in
+  match Session.handle_line s2 "SHUTDOWN" with
+  | _, Session.Stop_server -> ()
+  | _ -> Alcotest.fail "SHUTDOWN must stop the server"
+
+(* ---------------------------- TCP loopback ---------------------------- *)
+
+let tasks_for_wire =
+  List.init 20 (fun id ->
+      let comm = 0.5 +. Float.of_int ((id * 7) mod 5) /. 4.0 in
+      let comp = 0.25 +. Float.of_int ((id * 3) mod 7) /. 4.0 in
+      Task.make ~id ~comm ~comp ~mem:comm ())
+
+let tcp_end_to_end () =
+  let server = Dt_runtime.Server.create ~port:0 () in
+  let port = Dt_runtime.Server.port server in
+  let domain = Domain.spawn (fun () -> Dt_runtime.Server.run server) in
+  let trace = Dt_trace.Trace.make ~name:"wire" tasks_for_wire in
+  let finish () =
+    (* stop the accept loop whatever happened above *)
+    match Dt_runtime.Client.connect ~port () with
+    | conn ->
+        ignore (Dt_runtime.Client.request conn Protocol.Shutdown);
+        Dt_runtime.Client.close conn;
+        Domain.join domain
+    | exception Unix.Unix_error _ -> Domain.join domain
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let conn = Dt_runtime.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Dt_runtime.Client.close conn)
+        (fun () ->
+          let policy = Engine.Corrected Corrected_rules.OOSCMR in
+          let r =
+            Dt_runtime.Client.replay conn ~trace ~rate:Float.infinity ~policy
+              ~capacity_factor:1.5 ()
+          in
+          Alcotest.(check int) "all submissions accepted" 20 r.Dt_runtime.Client.accepted;
+          Alcotest.(check (float 0.0))
+            "clairvoyant replay over TCP = offline schedule"
+            r.Dt_runtime.Client.offline_makespan r.Dt_runtime.Client.makespan;
+          let offline =
+            let capacity = 1.5 *. Dt_trace.Trace.min_capacity trace in
+            Schedule.makespan
+              (Corrected_rules.run Corrected_rules.OOSCMR
+                 (Instance.make_keep_ids ~capacity tasks_for_wire))
+          in
+          Alcotest.(check (float 0.0))
+            "and equals Corrected_rules.run directly" offline r.Dt_runtime.Client.makespan))
+
+let suite =
+  [
+    prop_zero_arrivals_are_offline;
+    prop_online_schedules_valid;
+    Alcotest.test_case "arrival times are honoured" `Quick arrivals_are_honoured;
+    Alcotest.test_case "engine chains across drains" `Quick engine_is_resumable;
+    Alcotest.test_case "admission control and backpressure" `Quick admission_control;
+    Alcotest.test_case "protocol: well-formed requests" `Quick protocol_parses;
+    Alcotest.test_case "protocol: malformed requests rejected" `Quick
+      protocol_rejects_malformed;
+    Alcotest.test_case "session conversation" `Quick session_conversation;
+    Alcotest.test_case "TCP serve/client loopback" `Quick tcp_end_to_end;
+  ]

@@ -21,6 +21,9 @@ let roundtrip_memory () =
   Alcotest.(check bool) "tasks preserved" true
     (List.for_all2 Dt_core.Task.equal t.Dt_trace.Trace.tasks t'.Dt_trace.Trace.tasks)
 
+(* Malformed input must come back as a located error (line number +
+   message); in particular no [Failure] from [float_of_string] and no
+   [Invalid_argument] from [Task.make] may escape the parser. *)
 let bad_streams () =
   let parse s =
     let path = Filename.temp_file "dtsched" ".trace" in
@@ -29,16 +32,50 @@ let bad_streams () =
     close_out oc;
     Fun.protect
       ~finally:(fun () -> Sys.remove path)
-      (fun () -> Dt_trace.Trace.load path)
+      (fun () -> Dt_trace.Trace.load_result path)
   in
-  Alcotest.check_raises "empty" (Failure "Trace.read: empty stream") (fun () ->
-      ignore (parse ""));
-  Alcotest.check_raises "bad header" (Failure "Trace.read: bad header") (fun () ->
-      ignore (parse "nonsense\n"));
-  Alcotest.check_raises "bad record" (Failure "Trace.read: bad record") (fun () ->
-      ignore (parse "# dtsched-trace v1 x\n1\t2\n"));
-  Alcotest.check_raises "bad number" (Failure "Trace.read: bad number") (fun () ->
-      ignore (parse "# dtsched-trace v1 x\n0\tt\tabc\t1\t1\n"))
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+    at 0
+  in
+  let check_error name input ~line ~grep =
+    match parse input with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+    | Error e ->
+        Alcotest.(check int) (name ^ ": line") line e.Dt_trace.Trace.line;
+        let msg = Dt_trace.Trace.parse_error_to_string e in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" name msg grep)
+          true (contains msg grep)
+  in
+  check_error "empty" "" ~line:0 ~grep:"empty stream";
+  check_error "bad header" "nonsense\n" ~line:1 ~grep:"bad header";
+  check_error "truncated record" "# dtsched-trace v1 x\n1\t2\n" ~line:2 ~grep:"5 tab-separated";
+  check_error "non-numeric field" "# dtsched-trace v1 x\n0\tt\tabc\t1\t1\n" ~line:2
+    ~grep:"not a number";
+  check_error "negative MC" "# dtsched-trace v1 x\n0\tt\t1\t1\t-3\n" ~line:2
+    ~grep:"non-negative";
+  check_error "bad id" "# dtsched-trace v1 x\nx\tt\t1\t1\t1\n" ~line:2 ~grep:"not an integer";
+  check_error "NaN field" "# dtsched-trace v1 x\n0\tt\tnan\t1\t1\n" ~line:2 ~grep:"NaN";
+  check_error "located on later line"
+    "# dtsched-trace v1 x\n0\tt\t1\t1\t1\n1\tu\t1\t1\t1\n2\tv\t1\t?\t1\n" ~line:4
+    ~grep:"not a number";
+  (* the raising wrappers carry the same located message *)
+  (match
+     let path = Filename.temp_file "dtsched" ".trace" in
+     let oc = open_out path in
+     output_string oc "# dtsched-trace v1 x\n0\tt\tabc\t1\t1\n";
+     close_out oc;
+     Fun.protect
+       ~finally:(fun () -> Sys.remove path)
+       (fun () ->
+         match Dt_trace.Trace.load path with
+         | exception Failure msg -> Some msg
+         | _ -> None)
+   with
+  | Some msg -> Alcotest.(check bool) "load Failure is located" true (contains msg "line 2")
+  | None -> Alcotest.fail "load: expected Failure")
 
 let set_roundtrip () =
   let dir = Filename.temp_file "dtsched" "" in
