@@ -115,6 +115,59 @@ let tcp_throughput ~requests =
         percentile latencies 0.5,
         percentile latencies 0.99 ))
 
+(* Concurrent clients against one multiplexed server: each client runs a
+   full INIT / SUBMIT* / DRAIN session on its own domain at the same
+   time. Before the event-loop rewrite this shape serialised (the accept
+   loop ran one connection to completion); now aggregate throughput is
+   bounded by fds and the pool, not by the slowest connection. *)
+let tcp_concurrent_throughput ~clients ~requests =
+  let server = Dt_runtime.Server.create ~port:0 () in
+  let port = Dt_runtime.Server.port server in
+  let sdomain = Domain.spawn (fun () -> Dt_runtime.Server.run server) in
+  let worker i =
+    Domain.spawn (fun () ->
+        let conn = Dt_runtime.Client.connect ~port () in
+        Fun.protect
+          ~finally:(fun () -> Dt_runtime.Client.close conn)
+          (fun () ->
+            ignore
+              (Dt_runtime.Client.request conn
+                 (Dt_runtime.Protocol.Init
+                    {
+                      capacity = 1000.0;
+                      policy = List.hd Engine.all_policies;
+                      queue_limit = Some 1000000;
+                    }));
+            for k = 0 to requests - 1 do
+              ignore
+                (Dt_runtime.Client.request conn
+                   (Dt_runtime.Protocol.Submit
+                      {
+                        label = Printf.sprintf "c%d-%d" i k;
+                        comm = 1.5;
+                        comp = 0.5;
+                        mem = 1.5;
+                        arrival = Float.of_int k;
+                      }))
+            done;
+            ignore (Dt_runtime.Client.request conn Dt_runtime.Protocol.Drain)))
+  in
+  let finish () =
+    (match Dt_runtime.Client.connect ~port () with
+    | conn ->
+        (try ignore (Dt_runtime.Client.request conn Dt_runtime.Protocol.Shutdown)
+         with Failure _ -> ());
+        Dt_runtime.Client.close conn
+    | exception Unix.Unix_error _ -> ());
+    Domain.join sdomain
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let domains = List.init clients worker in
+      List.iter Domain.join domains;
+      let wall = Unix.gettimeofday () -. t0 in
+      if wall > 0.0 then Float.of_int (clients * (requests + 2)) /. wall else 0.0)
+
 let run () =
   Printf.printf "\n== online: arrival-aware engine vs clairvoyant offline ==\n\n";
   let traces = Lazy.force Data.hf_traces in
@@ -153,6 +206,14 @@ let run () =
   Printf.printf
     "service loop, TCP loopback: %.0f req/s (p50 %.1f us, p99 %.1f us, %d requests)\n"
     tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99) tcp_requests;
+  let conc_clients = 4 in
+  let conc_requests = if Data.fast then 250 else 2500 in
+  let conc_rps =
+    tcp_concurrent_throughput ~clients:conc_clients ~requests:conc_requests
+  in
+  Printf.printf
+    "service loop, TCP %d concurrent clients: %.0f req/s aggregate (%d requests each)\n"
+    conc_clients conc_rps conc_requests;
   let oc = open_out "BENCH_runtime.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -184,8 +245,11 @@ let run () =
         \    \"in_process\": { \"requests\": %d, \"requests_per_s\": %.1f, \
          \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f },\n\
         \    \"tcp_loopback\": { \"requests\": %d, \"requests_per_s\": %.1f, \
-         \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f }\n\
+         \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f },\n\
+        \    \"tcp_concurrent\": { \"clients\": %d, \"requests_per_client\": %d, \
+         \"requests_per_s\": %.1f }\n\
         \  }\n}\n"
         requests inproc_rps (1e6 *. inproc_p50) (1e6 *. inproc_p99)
-        tcp_requests tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99));
+        tcp_requests tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99)
+        conc_clients conc_requests conc_rps);
   Printf.printf "wrote BENCH_runtime.json\n"

@@ -357,8 +357,11 @@ let fleet_cmd =
 (* serve                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let serve host port port_file stdio domains =
+let serve host port port_file stdio domains max_conns idle_timeout =
   if stdio then Ok (Dt_runtime.Server.serve_stdio ())
+  else if max_conns < 1 then Error (`Msg "--max-conns must be positive")
+  else if Float.is_nan idle_timeout || idle_timeout < 0.0 then
+    Error (`Msg "--idle-timeout must be non-negative (0 disables it)")
   else
     match Dt_runtime.Server.create ~host ~port () with
     | exception Unix.Unix_error (e, _, _) ->
@@ -374,7 +377,7 @@ let serve host port port_file stdio domains =
               close_out oc
         in
         with_optional_pool domains (fun pool ->
-            Dt_runtime.Server.run ?pool ~on_listen server)
+            Dt_runtime.Server.run ?pool ~max_conns ~idle_timeout ~on_listen server)
 
 let serve_cmd =
   let host =
@@ -403,14 +406,33 @@ let serve_cmd =
       & opt (some domains_conv) None
       & info [ "j"; "domains" ] ~docv:"N"
           ~doc:
-            "Serve simultaneous connections on a pool of $(docv) domains (0 = \
-             pick automatically). Without this option connections are served \
-             one at a time.")
+            "Process ready request batches on a pool of $(docv) domains (0 = \
+             pick automatically). Without this option batches are processed \
+             on the event loop itself; connections are multiplexed and never \
+             block each other either way.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 512
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Serve at most $(docv) simultaneous connections; beyond the limit \
+             a connection is answered one $(b,ERR busy) line and closed.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 0.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Close connections with no traffic for $(docv) seconds (answered \
+             one $(b,ERR timeout) line first; 0 disables the timeout).")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Online scheduling service (newline-delimited protocol over TCP or stdio)")
-    Term.(term_result (const serve $ host $ port $ port_file $ stdio $ domains))
+    Term.(
+      term_result
+        (const serve $ host $ port $ port_file $ stdio $ domains $ max_conns $ idle_timeout))
 
 (* ------------------------------------------------------------------ *)
 (* client                                                               *)

@@ -32,6 +32,14 @@ done
 port=$(cat "$tmp/port")
 echo "server listening on port $port"
 
+# Head-of-line regression: hold an idle connection open for the whole
+# 20-task session below. The server runs without a pool, so before the
+# multiplexed event loop this idle client would have frozen the accept
+# loop and the session would never have been served.
+sleep 60 | "$DTSCHED" client -p "$port" >/dev/null 2>&1 &
+idle_pid=$!
+sleep 0.3
+
 # Scripted session: 20 identical tasks (comm 1, comp 0.5, mem 1) on
 # capacity 10, all arrivals at 0. The link serialises the transfers, so
 # the clairvoyant (= offline, by the engine's degeneration property)
@@ -52,7 +60,8 @@ grep -q "makespan=20.5 scheduled=20" "$tmp/session.out" || {
   cat "$tmp/session.out" >&2
   exit 1
 }
-echo "20-task session OK (drained makespan 20.5 = offline)"
+echo "20-task session OK (drained makespan 20.5 = offline, idle connection held open)"
+kill "$idle_pid" 2>/dev/null || true
 
 # Trace replay at rate inf: every arrival is 0, so the online schedule
 # must equal the offline clairvoyant one bit for bit (ratio 1.000).
@@ -65,9 +74,25 @@ grep -q "online/offline   1.000" "$tmp/replay.out" || {
   exit 1
 }
 
+# SHUTDOWN while a client is still connected: the server must drain and
+# exit instead of waiting on the open connection forever.
+sleep 60 | "$DTSCHED" client -p "$port" >/dev/null 2>&1 &
+idle2_pid=$!
+sleep 0.3
 printf 'SHUTDOWN\n' | "$DTSCHED" client -p "$port" >/dev/null
-wait "$server_pid"
-echo "server shut down cleanly"
+i=0
+while kill -0 "$server_pid" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: server still running 10s after SHUTDOWN with a client open" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+wait "$server_pid" 2>/dev/null || true
+kill "$idle2_pid" 2>/dev/null || true
+echo "server shut down cleanly with a client still connected"
 
 echo "== scaling experiment (fast workload) =="
 EXPERIMENTS=scaling DTSCHED_FAST=1 dune exec bench/main.exe

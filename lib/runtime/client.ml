@@ -7,8 +7,10 @@ type connection = {
 }
 
 let connect ?(host = "127.0.0.1") ~port () =
+  Net.ignore_sigpipe ();
+  let addr = Net.resolve ~host ~port in
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  (try Unix.connect fd addr
    with e ->
      Unix.close fd;
      raise e);

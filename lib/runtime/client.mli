@@ -5,8 +5,13 @@
 type connection
 
 val connect : ?host:string -> port:int -> unit -> connection
-(** TCP connection to a running server (host defaults to
-    ["127.0.0.1"]). Raises [Unix.Unix_error] on refusal. *)
+(** TCP connection to a running server. [host] (default ["127.0.0.1"])
+    may be a dotted quad or a name such as ["localhost"] (resolved via
+    {!Net.resolve}). Raises [Unix.Unix_error] on refusal or resolution
+    failure. SIGPIPE is ignored process-wide on the first connect, so a
+    server going away mid-conversation surfaces as [Sys_error] /
+    [Unix.Unix_error EPIPE] from the next send, never as process
+    death. *)
 
 val close : connection -> unit
 

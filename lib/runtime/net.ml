@@ -1,0 +1,31 @@
+(* Shared socket plumbing for the server and client sides of the
+   service: SIGPIPE suppression (a peer closing mid-write must surface
+   as EPIPE/Sys_error, not kill the process) and hostname resolution
+   (Unix.inet_addr_of_string only accepts dotted quads, so "localhost"
+   needs getaddrinfo). *)
+
+let ignore_sigpipe () =
+  (* Process-global and idempotent; platforms without SIGPIPE (or
+     restricted runtimes) simply skip it. *)
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let resolve ~host ~port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> (
+      let candidates =
+        try
+          Unix.getaddrinfo host (string_of_int port)
+            [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+        with Not_found -> []
+      in
+      match
+        List.find_map
+          (function
+            | { Unix.ai_addr = Unix.ADDR_INET _ as addr; _ } -> Some addr
+            | _ -> None)
+          candidates
+      with
+      | Some addr -> addr
+      | None -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "getaddrinfo", host)))

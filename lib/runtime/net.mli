@@ -1,0 +1,14 @@
+(** Socket plumbing shared by {!Server} and {!Client}. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set the process-wide SIGPIPE disposition to ignore, so writing to a
+    peer that already closed its end raises [EPIPE] ([Unix.Unix_error])
+    or [Sys_error] — both handled by the I/O loops — instead of
+    terminating the whole process. Idempotent; a no-op on platforms
+    without SIGPIPE. *)
+
+val resolve : host:string -> port:int -> Unix.sockaddr
+(** Resolve [host] (a dotted quad like ["127.0.0.1"] or a name like
+    ["localhost"]) to an IPv4 socket address on [port]. Names go through
+    [Unix.getaddrinfo]; an unresolvable host raises
+    [Unix.Unix_error (EHOSTUNREACH, "getaddrinfo", host)]. *)

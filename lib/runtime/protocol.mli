@@ -25,10 +25,16 @@ label     = 1*(VCHAR without SP)
     except [ENTRIES] (head line [OK n=<k>]) and [POLL] (head line
     [OK new=<k> ...]), whose head is followed by [k] lines
     [ENTRY <id> <label> <s_comm> <s_comp>]. Error codes: [parse]
-    (malformed request), [state] (e.g. SUBMIT before INIT), [busy]
-    (pending queue full — backpressure), [toobig] (task exceeds the
-    session capacity). Requests before [INIT] other than [QUIT] /
-    [SHUTDOWN] / [STATS] are [ERR state]. *)
+    (malformed request, or a request line longer than the server's
+    bound — the latter also closes the connection), [state] (e.g.
+    SUBMIT before INIT), [busy] (backpressure: either the pending queue
+    is full, or — answered once on accept, followed by a close — the
+    server is at its connection limit), [toobig] (task exceeds the
+    session capacity), [timeout] (the connection sat idle longer than
+    the server's idle timeout; followed by a close), [internal] (a
+    request hit a bug in the engine; the session survives and stays
+    usable). Requests before [INIT] other than [QUIT] / [SHUTDOWN] /
+    [STATS] are [ERR state]. *)
 
 type request =
   | Init of { capacity : float; policy : Engine.policy; queue_limit : int option }

@@ -5,14 +5,16 @@ type t = {
 }
 
 let create ?(host = "127.0.0.1") ~port () =
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let addr = Net.resolve ~host ~port in
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt fd SO_REUSEADDR true;
-  (try Unix.bind fd addr
+  (try
+     Unix.bind fd addr;
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
    with e ->
      Unix.close fd;
      raise e);
-  Unix.listen fd 64;
   let port =
     match Unix.getsockname fd with
     | Unix.ADDR_INET (_, p) -> p
@@ -22,26 +24,111 @@ let create ?(host = "127.0.0.1") ~port () =
 
 let port t = t.port
 
-(* Serve one accepted connection to completion. Runs on a pool domain
-   when several clients arrived together; all session state is local. *)
-let handle_connection stop fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let session = Session.create () in
-  let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | line ->
-        let responses, control = Session.handle_line session line in
-        List.iter (fun r -> output_string oc (r ^ "\n")) responses;
-        flush oc;
-        (match control with
-        | Session.Continue -> loop ()
-        | Session.Close_session -> ()
-        | Session.Stop_server -> Atomic.set stop true)
+(* ------------------------- connection state ------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  session : Session.t;
+  rbuf : Buffer.t;        (* received bytes not yet forming a full line *)
+  mutable out : string;   (* response bytes currently being written *)
+  mutable out_off : int;  (* prefix of [out] already on the wire *)
+  outq : Buffer.t;        (* responses queued behind [out] *)
+  mutable last_activity : float;
+  mutable closing : bool; (* read no more; close once the output drains *)
+}
+
+(* One request line is bounded; a peer that streams a longer "line" is
+   answered ERR parse and disconnected instead of growing rbuf forever. *)
+let max_line_bytes = 65536
+
+let make_conn fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  {
+    fd;
+    session = Session.create ();
+    rbuf = Buffer.create 256;
+    out = "";
+    out_off = 0;
+    outq = Buffer.create 256;
+    last_activity = Unix.gettimeofday ();
+    closing = false;
+  }
+
+let has_output c = c.out_off < String.length c.out || Buffer.length c.outq > 0
+
+let enqueue c lines =
+  List.iter
+    (fun line ->
+      Buffer.add_string c.outq line;
+      Buffer.add_char c.outq '\n')
+    lines
+
+(* Write as much pending output as the socket accepts right now; [false]
+   means the peer is gone (EPIPE/ECONNRESET/...) and the connection must
+   be dropped. *)
+let flush_output c =
+  let rec go () =
+    if c.out_off >= String.length c.out then
+      if Buffer.length c.outq = 0 then true
+      else begin
+        c.out <- Buffer.contents c.outq;
+        Buffer.clear c.outq;
+        c.out_off <- 0;
+        go ()
+      end
+    else
+      match
+        Unix.write_substring c.fd c.out c.out_off (String.length c.out - c.out_off)
+      with
+      | 0 -> true
+      | n ->
+          c.out_off <- c.out_off + n;
+          go ()
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        ->
+          true
+      | exception Unix.Unix_error _ -> false
   in
-  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ())
+  go ()
+
+(* Split rbuf into the complete lines it holds, keeping the partial tail
+   (slow-loris clients deliver a request over many reads). *)
+let take_lines c =
+  let s = Buffer.contents c.rbuf in
+  let lines = ref [] and start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from s !start '\n' in
+       lines := String.sub s !start (i - !start) :: !lines;
+       start := i + 1
+     done
+   with Not_found -> ());
+  if !start > 0 then begin
+    Buffer.clear c.rbuf;
+    Buffer.add_substring c.rbuf s !start (String.length s - !start)
+  end;
+  List.rev !lines
+
+(* Run one connection's batch of parsed-off lines through its session.
+   This is the piece that fans out on the pool: sessions are fully
+   independent, and one connection's batch stays on one domain, in
+   order. Session.handle_line never raises by contract; the handler here
+   is the last line of defense so that an escaped exception tears down
+   one connection, never the event loop. *)
+let process_lines session lines =
+  let rec go acc control = function
+    | [] -> (List.rev acc, control)
+    | _ :: _ when control <> Session.Continue -> (List.rev acc, control)
+    | line :: rest ->
+        let responses, next = Session.handle_line session line in
+        go (List.rev_append responses acc) next rest
+  in
+  match go [] Session.Continue lines with
+  | result -> result
+  | exception e ->
+      ( [ Protocol.err ~code:"internal" (Printexc.to_string e) ],
+        Session.Close_session )
 
 let install_signal_handlers stop =
   let previous = ref [] in
@@ -59,54 +146,189 @@ let install_signal_handlers stop =
         try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ())
       !previous
 
-let run ?pool ?on_listen t =
+let busy_line =
+  Protocol.err ~code:"busy" "connection limit reached, try again later" ^ "\n"
+
+let drain_deadline_s = 2.0
+
+let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
+  if max_conns < 1 then invalid_arg "Server.run: max_conns must be positive";
+  if Float.is_nan idle_timeout || idle_timeout < 0.0 then
+    invalid_arg "Server.run: idle_timeout must be non-negative";
+  Net.ignore_sigpipe ();
   let restore = install_signal_handlers t.stop in
   (match on_listen with None -> () | Some f -> f t.port);
-  let batch_limit = match pool with None -> 1 | Some p -> Dt_par.Pool.num_domains p in
+  let scratch = Bytes.create 4096 in
+  let conns = ref ([] : conn list) in
+  let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let drop c =
+    conns := List.filter (fun c' -> c' != c) !conns;
+    close_fd c.fd
+  in
+  (* EOF, a read/write error, or data arriving: returns [true] when the
+     connection is still alive afterwards. *)
+  let handle_read c =
+    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+    | 0 -> false (* peer closed: pending output is undeliverable *)
+    | n ->
+        Buffer.add_subbytes c.rbuf scratch 0 n;
+        c.last_activity <- Unix.gettimeofday ();
+        true
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+        true
+    | exception Unix.Unix_error _ -> false
+  in
+  let accept_all () =
+    let rec go () =
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+          if List.length !conns >= max_conns then begin
+            (* over the limit: one short best-effort answer, then close *)
+            (try ignore (Unix.write_substring fd busy_line 0 (String.length busy_line))
+             with Unix.Unix_error _ -> ());
+            close_fd fd
+          end
+          else conns := make_conn fd :: !conns;
+          go ()
+    in
+    go ()
+  in
   Fun.protect
     ~finally:(fun () ->
       restore ();
-      try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+      close_fd t.listen_fd;
+      List.iter (fun c -> close_fd c.fd) !conns;
+      conns := [])
     (fun () ->
       while not (Atomic.get t.stop) do
-        (* wait, interruptibly, for at least one pending connection *)
-        match Unix.select [ t.listen_fd ] [] [] 0.2 with
+        let readers =
+          t.listen_fd
+          :: List.filter_map
+               (fun c -> if c.closing then None else Some c.fd)
+               !conns
+        in
+        let writers =
+          List.filter_map (fun c -> if has_output c then Some c.fd else None) !conns
+        in
+        match Unix.select readers writers [] 0.2 with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | [], _, _ -> ()
-        | _ ->
-            (* batch every connection that is ready right now (capped by
-               the pool width) and serve the batch in parallel *)
-            let batch = ref [] in
-            let rec gather n =
-              if n > 0 then
-                match Unix.select [ t.listen_fd ] [] [] 0.0 with
-                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-                | [], _, _ -> ()
-                | _ -> (
-                    match Unix.accept t.listen_fd with
-                    | exception Unix.Unix_error (_, _, _) -> ()
-                    | fd, _ ->
-                        batch := fd :: !batch;
-                        gather (n - 1))
+        | ready_r, _ready_w, _ ->
+            (* 1. read from every ready connection (EOF drops it, pending
+               output and all: the peer is gone) *)
+            List.iter
+              (fun c ->
+                if (not c.closing) && List.mem c.fd ready_r then
+                  if not (handle_read c) then drop c)
+              !conns;
+            (* 2. accept after reads, so slots freed by disconnections in
+               this very round are visible to the max_conns check *)
+            if List.mem t.listen_fd ready_r then accept_all ();
+            (* 3. gather each connection's complete lines and process the
+               ready batch — in parallel across connections when a pool
+               is available, always sequentially within one connection *)
+            let batch =
+              List.filter_map
+                (fun c ->
+                  if c.closing then None
+                  else begin
+                    if Buffer.length c.rbuf > max_line_bytes then begin
+                      enqueue c
+                        [
+                          Protocol.err ~code:"parse"
+                            (Printf.sprintf "request line exceeds %d bytes"
+                               max_line_bytes);
+                        ];
+                      c.closing <- true;
+                      None
+                    end
+                    else
+                      match take_lines c with
+                      | [] -> None
+                      | lines -> Some (c, lines)
+                  end)
+                !conns
             in
-            gather (max 1 batch_limit);
-            let connections = Array.of_list (List.rev !batch) in
-            (match pool with
-            | Some p when Array.length connections > 1 ->
-                ignore
-                  (Dt_par.Pool.parallel_map p (handle_connection t.stop) connections)
-            | _ -> Array.iter (handle_connection t.stop) connections)
-      done)
+            let batch = Array.of_list batch in
+            let outcomes =
+              match pool with
+              | Some p when Array.length batch > 1 ->
+                  Dt_par.Pool.parallel_map p
+                    (fun (c, lines) -> process_lines c.session lines)
+                    batch
+              | _ ->
+                  Array.map (fun (c, lines) -> process_lines c.session lines) batch
+            in
+            Array.iteri
+              (fun i (responses, control) ->
+                let c, _ = batch.(i) in
+                enqueue c responses;
+                match control with
+                | Session.Continue -> ()
+                | Session.Close_session -> c.closing <- true
+                | Session.Stop_server ->
+                    c.closing <- true;
+                    Atomic.set t.stop true)
+              outcomes;
+            (* 4. idle-connection timeout *)
+            if idle_timeout > 0.0 then begin
+              let now = Unix.gettimeofday () in
+              List.iter
+                (fun c ->
+                  if (not c.closing) && now -. c.last_activity >= idle_timeout
+                  then begin
+                    enqueue c
+                      [
+                        Protocol.err ~code:"timeout"
+                          (Printf.sprintf "idle for more than %gs, closing"
+                             idle_timeout);
+                      ];
+                    c.closing <- true
+                  end)
+                !conns
+            end;
+            (* 5. opportunistic writes (select wakes us again if a socket
+               buffer filled up), then reap drained closing connections *)
+            List.iter (fun c -> if not (flush_output c) then drop c) !conns;
+            List.iter
+              (fun c -> if c.closing && not (has_output c) then drop c)
+              !conns
+      done;
+      (* graceful drain: stop accepting, deliver every queued response
+         (the SHUTDOWN acknowledgement in particular), then close all
+         remaining connections — bounded so one stuck reader cannot hold
+         the shutdown hostage *)
+      close_fd t.listen_fd;
+      let deadline = Unix.gettimeofday () +. drain_deadline_s in
+      let rec drain () =
+        List.iter (fun c -> if not (flush_output c) then drop c) !conns;
+        List.iter (fun c -> if not (has_output c) then drop c) !conns;
+        if !conns <> [] && Unix.gettimeofday () < deadline then begin
+          (match Unix.select [] (List.map (fun c -> c.fd) !conns) [] 0.05 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | _ -> ());
+          drain ()
+        end
+      in
+      drain ())
 
 let serve_stdio () =
+  Net.ignore_sigpipe ();
   let session = Session.create () in
   let rec loop () =
     match input_line stdin with
     | exception End_of_file -> ()
-    | line ->
+    | line -> (
         let responses, control = Session.handle_line session line in
-        List.iter print_endline responses;
-        flush stdout;
-        (match control with Session.Continue -> loop () | _ -> ())
+        match
+          List.iter print_endline responses;
+          flush stdout
+        with
+        | exception Sys_error _ -> () (* stdout pipe closed by the peer *)
+        | () -> ( match control with Session.Continue -> loop () | _ -> ()))
   in
   loop ()

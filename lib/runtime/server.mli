@@ -2,34 +2,72 @@
     speaking the newline-delimited protocol of {!Protocol}, one
     {!Session} per connection.
 
-    Concurrency model: the listener batches the connections that are
-    ready at the same instant and serves each batch through
-    {!Dt_par.Pool.parallel_map}, so simultaneous clients run on separate
-    domains while a lone client is served directly on the accept loop
-    (the pool's fork/join shape — PR 1 — maps exactly onto this).
-    Sessions are fully independent: each owns its engine, so no lock is
-    shared across domains.
+    Concurrency model: a single multiplexed, non-blocking event loop.
+    Every live connection sits in one [Unix.select] set with a
+    per-connection read buffer (partial lines are reassembled, so a
+    client trickling one request byte by byte never stalls the others)
+    and a per-connection write buffer (partial writes are resumed when
+    the socket drains). Each round, the complete request lines of every
+    ready connection are processed as a batch — fanned out across a
+    {!Dt_par.Pool} when one is given, one connection per domain, always
+    in order within a connection — and the responses are queued on the
+    writers. An idle or slow connection therefore costs one fd and
+    nothing else: no domain is parked on it, and a second client's
+    round-trip completes even on a 1-domain pool while the first holds
+    its connection open (no head-of-line blocking). Sessions are fully
+    independent: each owns its engine, so no lock is shared across
+    domains.
+
+    Fault containment: SIGPIPE is ignored, so a peer that disconnects
+    mid-response surfaces as a write error that closes that one
+    connection; a request that raises inside the engine is answered
+    [ERR internal ...] by the session (and, as a last resort, closes the
+    offending connection) — the event loop survives both.
+
+    Limits: at most [max_conns] connections are served at once — later
+    ones are answered a single [ERR busy ...] line and closed — and,
+    when [idle_timeout] is positive, a connection with no traffic for
+    that long is answered [ERR timeout ...] and closed.
 
     Graceful shutdown: a [SHUTDOWN] request, SIGINT or SIGTERM stops the
-    accept loop; connections already being served finish their session
-    first, then the listening socket closes. *)
+    loop; the listener closes immediately, every queued response (the
+    [SHUTDOWN] acknowledgement in particular) is flushed within a
+    bounded drain window, then every remaining connection is closed —
+    including idle ones, so open clients cannot hold the shutdown
+    hostage. *)
 
 type t
 
 val create : ?host:string -> port:int -> unit -> t
-(** Bind and listen on [host] (default ["127.0.0.1"]) : [port]; [port 0]
-    picks a free port. Raises [Unix.Unix_error] when binding fails. *)
+(** Bind and listen on [host] : [port]; [port 0] picks a free port.
+    [host] (default ["127.0.0.1"]) may be a dotted quad or a name such
+    as ["localhost"] (resolved via {!Net.resolve}). Raises
+    [Unix.Unix_error] when resolution, binding or listening fails — the
+    socket is closed on every failure path. *)
 
 val port : t -> int
 (** The actually bound port (useful after [port 0]). *)
 
-val run : ?pool:Dt_par.Pool.t -> ?on_listen:(int -> unit) -> t -> unit
+val run :
+  ?pool:Dt_par.Pool.t ->
+  ?max_conns:int ->
+  ?idle_timeout:float ->
+  ?on_listen:(int -> unit) ->
+  t ->
+  unit
 (** Serve until a [SHUTDOWN] request or a termination signal arrives,
-    then close the listener. [on_listen] is called once with the bound
-    port just before the first accept (the CLI prints/writes the port
-    there, so scripts can synchronise). Without a [pool], every batch is
-    served sequentially. *)
+    then drain and close (see the concurrency model above).
+    [max_conns] (default [512], must be positive) bounds simultaneous
+    connections; [idle_timeout] (seconds; default [0.] = disabled, must
+    be non-negative) reaps silent connections. [on_listen] is called
+    once with the bound port just before the first accept (the CLI
+    prints/writes the port there, so scripts can synchronise). Without
+    a [pool], ready batches are processed sequentially — concurrency
+    across connections still holds, because no connection ever blocks
+    the loop. *)
 
 val serve_stdio : unit -> unit
 (** Serve exactly one session over stdin/stdout (requests in, responses
-    out), returning on [QUIT], [SHUTDOWN] or end of input. *)
+    out), returning on [QUIT], [SHUTDOWN], end of input, or the peer
+    closing stdout (SIGPIPE is ignored; the broken pipe ends the loop
+    cleanly). *)

@@ -104,9 +104,21 @@ let handle_request t (request : Protocol.request) =
             ]),
         Continue )
 
+(* Test-only fault injection: raising from here stands in for a bug deep
+   in the engine/simulator code (see session.mli). *)
+let fault_hook : (Protocol.request -> unit) ref = ref (fun _ -> ())
+
 let handle_line t line =
   match Protocol.parse_request (strip line) with
   | Error msg -> ([ Protocol.err ~code:"parse" msg ], Continue)
   | Ok request -> (
-      try handle_request t request
-      with Invalid_argument msg -> ([ Protocol.err ~code:"state" msg ], Continue))
+      try
+        !fault_hook request;
+        handle_request t request
+      with
+      | Invalid_argument msg -> ([ Protocol.err ~code:"state" msg ], Continue)
+      | e ->
+          (* any other exception out of engine/sim code: answer instead
+             of letting it escape through the server (or a pool domain)
+             and kill the whole service *)
+          ([ Protocol.err ~code:"internal" (Printexc.to_string e) ], Continue))

@@ -20,5 +20,16 @@ type control =
 
 val handle_line : t -> string -> string list * control
 (** Process one request line (trailing ['\n'] / ['\r'] tolerated) and
-    return the response lines, in order, plus what to do next. Malformed
-    input never raises: it yields a single [ERR parse ...] line. *)
+    return the response lines, in order, plus what to do next. Never
+    raises: malformed input yields a single [ERR parse ...] line,
+    [Invalid_argument] out of the engine yields [ERR state ...], and any
+    other exception from engine/simulator code yields
+    [ERR internal <exn>] — the session stays alive and usable in every
+    case (a server must not die because one request hit a bug). *)
+
+val fault_hook : (Protocol.request -> unit) ref
+(** Test-only fault injection: called with every parsed request just
+    before it is handled. A hook that raises models a bug in engine/sim
+    code and must surface as [ERR internal ...] (the regression tests
+    pin this). The default does nothing; production code must not touch
+    it. *)

@@ -300,6 +300,325 @@ let tcp_end_to_end () =
           Alcotest.(check (float 0.0))
             "and equals Corrected_rules.run directly" offline r.Dt_runtime.Client.makespan))
 
+(* ------------------------ connection faults ------------------------- *)
+
+(* Start a server on its own domain, run [f port], then shut the server
+   down whatever happened. The shutdown handshake retries: right after a
+   test closes a connection the server may not have reaped it yet, so a
+   max_conns-limited server can answer the first attempt ERR busy. *)
+let with_server ?pool ?max_conns ?idle_timeout f =
+  let server = Dt_runtime.Server.create ~port:0 () in
+  let port = Dt_runtime.Server.port server in
+  let domain =
+    Domain.spawn (fun () ->
+        Dt_runtime.Server.run ?pool ?max_conns ?idle_timeout server)
+  in
+  let finish () =
+    let rec shutdown attempts =
+      if attempts > 0 then
+        match Dt_runtime.Client.connect ~port () with
+        | exception Unix.Unix_error _ -> () (* already gone *)
+        | conn -> (
+            match Dt_runtime.Client.request conn Protocol.Shutdown with
+            | exception Failure _ -> Dt_runtime.Client.close conn
+            | line :: _ when String.length line >= 2 && String.sub line 0 2 = "OK"
+              ->
+                Dt_runtime.Client.close conn
+            | _ ->
+                Dt_runtime.Client.close conn;
+                Unix.sleepf 0.05;
+                shutdown (attempts - 1))
+    in
+    shutdown 20;
+    Domain.join domain
+  in
+  Fun.protect ~finally:finish (fun () -> f port)
+
+let raw_connect port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let starts_with prefix line =
+  String.length line >= String.length prefix
+  && String.sub line 0 (String.length prefix) = prefix
+
+let expect_ok what = function
+  | line :: _ when starts_with "OK" line -> line
+  | line :: _ -> Alcotest.failf "%s answered %s" what line
+  | [] -> Alcotest.failf "%s: empty response" what
+
+(* A full INIT -> SUBMIT -> DRAIN round trip; the makespan check proves
+   the second client was actually served, not just accepted. *)
+let round_trip port =
+  let conn = Dt_runtime.Client.connect ~port () in
+  Fun.protect
+    ~finally:(fun () -> Dt_runtime.Client.close conn)
+    (fun () ->
+      ignore
+        (expect_ok "INIT"
+           (Dt_runtime.Client.request conn
+              (Protocol.Init
+                 {
+                   capacity = 10.0;
+                   policy = Engine.Corrected Corrected_rules.OOSCMR;
+                   queue_limit = None;
+                 })));
+      for i = 0 to 4 do
+        ignore
+          (expect_ok "SUBMIT"
+             (Dt_runtime.Client.request conn
+                (Protocol.Submit
+                   {
+                     label = Printf.sprintf "t%d" i;
+                     comm = 1.0;
+                     comp = 0.5;
+                     mem = 1.0;
+                     arrival = 0.0;
+                   })))
+      done;
+      let drain = expect_ok "DRAIN" (Dt_runtime.Client.request conn Protocol.Drain) in
+      Alcotest.(check (option (float 0.0)))
+        "drained makespan" (Some 5.5)
+        (Dt_runtime.Client.response_field "makespan" drain);
+      ignore (Dt_runtime.Client.request conn Protocol.Quit))
+
+let head_of_line_blocking () =
+  (* the regression of this PR: with a 1-domain pool, an idle open
+     connection must not delay a second client's full round trip *)
+  Dt_par.Pool.with_pool ~num_domains:1 (fun pool ->
+      with_server ~pool (fun port ->
+          let idle = Dt_runtime.Client.connect ~port () in
+          Fun.protect
+            ~finally:(fun () -> Dt_runtime.Client.close idle)
+            (fun () -> round_trip port)))
+
+let slow_loris () =
+  with_server (fun port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let send s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+          send "ST";
+          Unix.sleepf 0.02;
+          send "AT";
+          (* mid-trickle, a second client must complete a whole session *)
+          round_trip port;
+          Unix.sleepf 0.02;
+          send "S\r\n";
+          let ic = Unix.in_channel_of_descr fd in
+          match input_line ic with
+          | line ->
+              Alcotest.(check bool)
+                "trickled STATS answered" true
+                (starts_with "OK uninitialised" line)
+          | exception End_of_file ->
+              Alcotest.fail "server closed the slow-loris connection"))
+
+let disconnect_mid_response () =
+  with_server (fun port ->
+      let fd = raw_connect port in
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc "INIT 1000000 LCMR 100000\n";
+      flush oc;
+      ignore (input_line ic);
+      for i = 0 to 199 do
+        Printf.fprintf oc "SUBMIT t%d 1 0.5 1\n" i
+      done;
+      flush oc;
+      for _ = 0 to 199 do
+        ignore (input_line ic)
+      done;
+      (* ask for a framed multi-line response and vanish without reading
+         any of it: the unread bytes make the close send a reset, so the
+         server's writes fail mid-response (EPIPE/ECONNRESET) *)
+      output_string oc "DRAIN\nENTRIES\n";
+      flush oc;
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      (* the server must still be alive and serving *)
+      round_trip port)
+
+let engine_fault_is_contained () =
+  (* session level: a fault inside the engine answers ERR internal and
+     leaves the session usable *)
+  let s = Session.create () in
+  ignore (Session.handle_line s "INIT 10");
+  Session.fault_hook :=
+    (fun req -> match req with Protocol.Drain -> failwith "boom" | _ -> ());
+  Fun.protect
+    ~finally:(fun () -> Session.fault_hook := fun _ -> ())
+    (fun () ->
+      (match Session.handle_line s "DRAIN" with
+      | [ line ], Session.Continue ->
+          Alcotest.(check bool)
+            "ERR internal carries the exception" true
+            (starts_with "ERR internal" line
+            && String.length line > String.length "ERR internal"
+            &&
+            let rec contains i =
+              i + 4 <= String.length line
+              && (String.sub line i 4 = "boom" || contains (i + 1))
+            in
+            contains 0)
+      | _ -> Alcotest.fail "faulting DRAIN must answer exactly one line");
+      match Session.handle_line s "STATS" with
+      | [ line ], Session.Continue ->
+          Alcotest.(check bool) "session survives the fault" true
+            (starts_with "OK" line)
+      | _ -> Alcotest.fail "session died after the fault");
+  (* server level: the same fault over TCP must not kill the server *)
+  Session.fault_hook :=
+    (fun req -> match req with Protocol.Entries -> failwith "wire-boom" | _ -> ());
+  Fun.protect
+    ~finally:(fun () -> Session.fault_hook := fun _ -> ())
+    (fun () ->
+      with_server (fun port ->
+          let conn = Dt_runtime.Client.connect ~port () in
+          Fun.protect
+            ~finally:(fun () -> Dt_runtime.Client.close conn)
+            (fun () ->
+              ignore
+                (expect_ok "INIT" (Dt_runtime.Client.request_line conn "INIT 10"));
+              (match Dt_runtime.Client.request_line conn "ENTRIES" with
+              | line :: _ ->
+                  Alcotest.(check bool) "ERR internal over the wire" true
+                    (starts_with "ERR internal" line)
+              | [] -> Alcotest.fail "empty response");
+              ignore
+                (expect_ok "STATS after the fault"
+                   (Dt_runtime.Client.request conn Protocol.Stats)));
+          round_trip port))
+
+let hostname_resolution () =
+  (* names, not just dotted quads, on both sides (old code raised
+     Failure "inet_addr_of_string" on "localhost") *)
+  let server = Dt_runtime.Server.create ~host:"localhost" ~port:0 () in
+  let port = Dt_runtime.Server.port server in
+  let domain = Domain.spawn (fun () -> Dt_runtime.Server.run server) in
+  let conn = Dt_runtime.Client.connect ~host:"localhost" ~port () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Dt_runtime.Client.request conn Protocol.Shutdown)
+       with Failure _ -> ());
+      Dt_runtime.Client.close conn;
+      Domain.join domain)
+    (fun () ->
+      ignore (expect_ok "STATS" (Dt_runtime.Client.request conn Protocol.Stats)))
+
+let connection_limit () =
+  with_server ~max_conns:1 (fun port ->
+      let c1 = Dt_runtime.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Dt_runtime.Client.close c1)
+        (fun () ->
+          ignore (expect_ok "STATS" (Dt_runtime.Client.request c1 Protocol.Stats));
+          let fd = raw_connect port in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let ic = Unix.in_channel_of_descr fd in
+              (match input_line ic with
+              | line ->
+                  Alcotest.(check bool) "over-limit answered ERR busy" true
+                    (starts_with "ERR busy" line)
+              | exception End_of_file ->
+                  Alcotest.fail "over-limit connection closed without ERR busy");
+              match input_line ic with
+              | exception End_of_file -> ()
+              | line -> Alcotest.failf "expected close after ERR busy, got %s" line));
+      (* the slot is free again once c1 is gone *)
+      Unix.sleepf 0.3;
+      round_trip port)
+
+let idle_timeout_reaps () =
+  with_server ~idle_timeout:0.25 (fun port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let t0 = Unix.gettimeofday () in
+          (match input_line ic with
+          | line ->
+              Alcotest.(check bool) "idle connection answered ERR timeout" true
+                (starts_with "ERR timeout" line)
+          | exception End_of_file ->
+              Alcotest.fail "idle connection closed without ERR timeout");
+          Alcotest.(check bool) "reaped promptly" true
+            (Unix.gettimeofday () -. t0 < 5.0);
+          match input_line ic with
+          | exception End_of_file -> ()
+          | line -> Alcotest.failf "expected close after ERR timeout, got %s" line))
+
+let pipelined_requests () =
+  (* several requests in one write: partial-line buffering must not eat
+     or reorder any of them, and QUIT closes after the answers *)
+  with_server (fun port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let s = "INIT 10 OOSCMR\nSUBMIT a 1 0.5 1\nSTATS\nQUIT\n" in
+          ignore (Unix.write_substring fd s 0 (String.length s));
+          let ic = Unix.in_channel_of_descr fd in
+          let expect what prefix =
+            match input_line ic with
+            | line ->
+                Alcotest.(check bool) what true (starts_with prefix line)
+            | exception End_of_file -> Alcotest.failf "%s: connection closed" what
+          in
+          expect "INIT answer" "OK capacity=10";
+          expect "SUBMIT answer" "OK accepted id=0";
+          expect "STATS answer" "OK scheduled=";
+          expect "QUIT answer" "OK bye";
+          match input_line ic with
+          | exception End_of_file -> ()
+          | line -> Alcotest.failf "expected close after QUIT, got %s" line))
+
+let shutdown_drains_open_connections () =
+  (* SHUTDOWN with another client still connected: the acknowledgement is
+     delivered, the loop exits, and the idle connection is closed rather
+     than holding the shutdown hostage *)
+  let server = Dt_runtime.Server.create ~port:0 () in
+  let port = Dt_runtime.Server.port server in
+  let domain = Domain.spawn (fun () -> Dt_runtime.Server.run server) in
+  let idle = Dt_runtime.Client.connect ~port () in
+  let c2 = Dt_runtime.Client.connect ~port () in
+  let response = Dt_runtime.Client.request c2 Protocol.Shutdown in
+  ignore (expect_ok "SHUTDOWN" response);
+  Domain.join domain;
+  Dt_runtime.Client.close c2;
+  (match Dt_runtime.Client.request idle Protocol.Stats with
+  | exception (Failure _ | Sys_error _ | Unix.Unix_error _) -> ()
+  | lines ->
+      Alcotest.failf "idle connection still served after shutdown: %s"
+        (String.concat " | " lines));
+  Dt_runtime.Client.close idle
+
+let client_survives_server_close () =
+  (* writing into a dead server must raise, not SIGPIPE the process *)
+  let server = Dt_runtime.Server.create ~port:0 () in
+  let port = Dt_runtime.Server.port server in
+  let domain = Domain.spawn (fun () -> Dt_runtime.Server.run server) in
+  let conn = Dt_runtime.Client.connect ~port () in
+  ignore (expect_ok "SHUTDOWN" (Dt_runtime.Client.request conn Protocol.Shutdown));
+  Domain.join domain;
+  for _ = 1 to 3 do
+    (* the first send after the close may still be buffered by the
+       kernel; by the second the reset has arrived and without the
+       SIGPIPE guard the whole test runner would die here *)
+    match Dt_runtime.Client.request conn Protocol.Stats with
+    | exception (Failure _ | Sys_error _ | Unix.Unix_error _) -> ()
+    | _ -> Alcotest.fail "request succeeded against a dead server"
+  done;
+  Dt_runtime.Client.close conn
+
 let suite =
   [
     prop_zero_arrivals_are_offline;
@@ -312,4 +631,20 @@ let suite =
       protocol_rejects_malformed;
     Alcotest.test_case "session conversation" `Quick session_conversation;
     Alcotest.test_case "TCP serve/client loopback" `Quick tcp_end_to_end;
+    Alcotest.test_case "no head-of-line blocking (1-domain pool)" `Quick
+      head_of_line_blocking;
+    Alcotest.test_case "slow-loris client does not stall others" `Quick slow_loris;
+    Alcotest.test_case "disconnect mid-framed-response survives" `Quick
+      disconnect_mid_response;
+    Alcotest.test_case "engine fault answers ERR internal" `Quick
+      engine_fault_is_contained;
+    Alcotest.test_case "hostname resolution (localhost)" `Quick hostname_resolution;
+    Alcotest.test_case "connection limit answers ERR busy" `Quick connection_limit;
+    Alcotest.test_case "idle timeout reaps silent connections" `Quick
+      idle_timeout_reaps;
+    Alcotest.test_case "pipelined requests keep order" `Quick pipelined_requests;
+    Alcotest.test_case "SHUTDOWN drains with clients open" `Quick
+      shutdown_drains_open_connections;
+    Alcotest.test_case "client survives server close (SIGPIPE)" `Quick
+      client_survives_server_close;
   ]
