@@ -32,6 +32,8 @@ let experiments =
     ("micro", Micro.run);
     ("scaling", Scaling.run);
     ("online", Online.run);
+    ("core", Core_scaling.run);
+    ("core-smoke", Core_scaling.smoke);
   ]
 
 let () =

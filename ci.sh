@@ -94,6 +94,15 @@ wait "$server_pid" 2>/dev/null || true
 kill "$idle2_pid" 2>/dev/null || true
 echo "server shut down cleanly with a client still connected"
 
+echo "== core complexity sweep (fast workload) =="
+EXPERIMENTS=core DTSCHED_FAST=1 dune exec bench/main.exe
+
+echo "== core complexity smoke (wall-clock budget) =="
+EXPERIMENTS=core-smoke dune exec bench/main.exe
+
+echo "== BENCH_core.json =="
+cat BENCH_core.json
+
 echo "== scaling experiment (fast workload) =="
 EXPERIMENTS=scaling DTSCHED_FAST=1 dune exec bench/main.exe
 

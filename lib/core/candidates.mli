@@ -1,0 +1,78 @@
+(** Incremental candidate index for the dynamic decision loops.
+
+    The heuristics of Sections 4.2–4.3 repeatedly answer the same query:
+    among the unscheduled tasks that fit in the free memory right now,
+    which one does the active criterion pick once the minimum-idle filter
+    has been applied? The original implementations re-filtered and
+    re-scanned the whole remaining list at every decision — O(n) per
+    step, O(n²) per run. This index answers the query in O(log n)
+    without ever reorganising itself as the memory level fluctuates:
+
+    - the tasks are held in two balanced trees, keyed by [(comm, id)]
+      and by [(mem, id)], whose nodes carry subtree aggregates: the
+      argmin of [(comm, id)] (the SCMR winner), the argmax of comm with
+      ties to the lower id (the LCMR winner), the argmax of
+      (acceleration desc, id asc) (the MAMR winner), and the minimum
+      memory requirement;
+    - the fits-now test [used +. mem <= kcap] is monotone in [mem], so
+      the fitting set is a {e prefix} of the [(mem, id)] tree: one
+      descent accumulates the aggregates of exactly the fitting tasks.
+      Because the boundary is implicit, a memory level that swings with
+      every schedule/release event costs nothing — an earlier design
+      that physically partitioned tasks into fits/blocked sets moved
+      Θ(n) tasks per event on memory-saturated instances;
+    - the minimum-idle filter keeps the tasks whose idle time
+      [max 0 (now + comm - cpu_free)] is within [1e-12] of the minimum.
+      Idle time is monotone in [comm], so the eligible set is a
+      comm-prefix; it only {e binds} (excludes some fitting task) when
+      the CPU frees up before the longest fitting transfer completes.
+      When it does not bind — the common case under CPU backlog — the
+      prefix aggregates already answer every criterion; when it does,
+      LCMR resolves with O(log² n) boundary descents of the
+      [(comm, id)] tree and MAMR with a pruned search of the (then
+      small) eligible region.
+
+    Every comparison uses the exact float expressions of
+    {!Dynamic_rules.select} and {!Sim.fits_now}, so selections are
+    bit-identical to the original list scans (property-tested). *)
+
+type t
+
+(** The selection criteria, mirroring {!Dynamic_rules.criterion} (which
+    cannot be used here without a dependency cycle). *)
+type crit = Lcmr | Scmr | Mamr
+
+val create : unit -> t
+(** An empty index. *)
+
+val size : t -> int
+(** Number of tasks in the index. *)
+
+val mem : t -> int -> bool
+(** Is a task with this id in the index? *)
+
+val add : t -> Task.t -> unit
+(** Insert a task in O(log n). Raises
+    [Invalid_argument "Candidates.add: duplicate task id <id>"] when a
+    task with the same id is already present. *)
+
+val remove : t -> Task.t -> unit
+(** Remove a task in O(log n). Raises
+    [Invalid_argument "Candidates.remove: unknown task id <id>"] when no
+    task with its id is present. *)
+
+val select :
+  ?min_idle_filter:bool ->
+  t ->
+  crit ->
+  used:float ->
+  kcap:float ->
+  cpu_free:float ->
+  now:float ->
+  Task.t option
+(** The task {!Dynamic_rules.select} would return on the tasks that fit
+    under [used +. mem <= kcap] (with [kcap] the tolerance-adjusted
+    capacity [capacity *. (1. +. 1e-12)], precomputed by the caller so
+    the test is the exact expression of {!Sim.fits_now}). O(log n) when
+    the minimum-idle filter does not bind (always, for SCMR and with the
+    filter off). [None] iff no task fits. *)

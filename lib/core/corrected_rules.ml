@@ -15,6 +15,11 @@ let criterion = function
   | OOSCMR -> Dynamic_rules.SCMR
   | OOMAMR -> Dynamic_rules.MAMR
 
+(* The static order is held in an array with a skip-removed head cursor
+   (O(n) total head advances), and the pending set doubles as a
+   Candidates index so the correction step selects in O(log n) instead of
+   re-filtering the list: O(n log n) per run where the list version was
+   O(n²). Bit-identical to the frozen reference (property-tested). *)
 let run ?state ?order rule instance =
   let capacity = instance.Instance.capacity in
   let st = match state with Some s -> s | None -> Sim.initial_state () in
@@ -28,31 +33,39 @@ let run ?state ?order rule instance =
           (Printf.sprintf "Corrected_rules.run: task %d needs %g > capacity %g" t.Task.id
              t.Task.mem capacity))
     initial;
-  let pending = ref initial in
+  let kcap = capacity *. (1.0 +. 1e-12) in
+  let crit = Dynamic_rules.crit_of (criterion rule) in
+  let arr = Array.of_list initial in
+  let n = Array.length arr in
+  let pos_of_id = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (t : Task.t) -> Hashtbl.replace pos_of_id t.Task.id i) arr;
+  let removed = Array.make n false in
+  let idx = Candidates.create () in
+  Array.iter (Candidates.add idx) arr;
+  let head = ref 0 in
+  let remaining = ref n in
   let entries = ref [] in
-  let take t =
+  let take (t : Task.t) =
     entries := Sim.schedule_task st ~capacity t :: !entries;
-    pending := List.filter (fun u -> u.Task.id <> t.Task.id) !pending
+    Candidates.remove idx t;
+    removed.(Hashtbl.find pos_of_id t.Task.id) <- true;
+    decr remaining
   in
-  let rec step () =
-    match !pending with
-    | [] -> ()
-    | next :: _ ->
-        if Sim.fits_now st ~capacity next.Task.mem then take next
-        else begin
-          let candidates =
-            List.filter (fun t -> Sim.fits_now st ~capacity t.Task.mem) !pending
-          in
-          match
-            Dynamic_rules.select (criterion rule) ~cpu_free:(Sim.cpu_free_time st)
-              ~now:(Sim.link_free_time st) candidates
-          with
-          | Some t -> take t
-          | None ->
-              let advanced = Sim.advance_to_next_release st in
-              assert advanced
-        end;
-        step ()
-  in
-  step ();
+  while !remaining > 0 do
+    while removed.(!head) do
+      incr head
+    done;
+    let next = arr.(!head) in
+    Sim.settle st;
+    if Sim.memory_in_use st +. next.Task.mem <= kcap then take next
+    else
+      match
+        Candidates.select idx crit ~used:(Sim.memory_in_use st) ~kcap
+          ~cpu_free:(Sim.cpu_free_time st) ~now:(Sim.link_free_time st)
+      with
+      | Some t -> take t
+      | None ->
+          let advanced = Sim.advance_to_next_release st in
+          assert advanced
+  done;
   Schedule.make ~capacity (List.rev !entries)

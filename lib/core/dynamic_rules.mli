@@ -15,6 +15,11 @@ type criterion =
 val all : criterion list
 val name : criterion -> string
 
+val crit_of : criterion -> Candidates.crit
+(** The {!Candidates} counterpart of a criterion (that module sits below
+    this one, so it cannot name [criterion] itself). Used by every
+    decision loop built on the incremental candidate index. *)
+
 val select :
   ?min_idle_filter:bool ->
   criterion ->

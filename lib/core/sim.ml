@@ -50,6 +50,8 @@ let process_releases_until st time =
 
 let next_release_time st = Option.map fst (Queue.peek_opt st.releases)
 
+let settle st = process_releases_until st st.link_free
+
 let advance_link_to st time = if time > st.link_free then st.link_free <- time
 
 let advance_to_next_release st =

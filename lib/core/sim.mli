@@ -43,6 +43,13 @@ val next_release_time : state -> float option
     event; online engines use it to compare the next release against the
     next task arrival before deciding which event to advance to. *)
 
+val settle : state -> unit
+(** Process every release event up to the link-free instant, so that
+    {!memory_in_use} reflects the memory actually held when the next
+    communication could start. Same side effect as a {!fits_now} probe,
+    without the fit test; incremental decision loops call it once per
+    step instead of once per candidate. *)
+
 val advance_link_to : state -> float -> unit
 (** Move the link availability forward to the given instant (no-op when
     the link is already free later). Used by arrival-aware engines to

@@ -63,8 +63,14 @@ val submit : t -> ?arrival:float -> Dt_core.Task.t -> admission
     finite and non-negative (else [Invalid_argument]). Admission is
     checked immediately: a task alone exceeding the capacity is
     [Rejected_too_big], a full pending queue is [Rejected_queue_full];
-    both leave the engine untouched. An accepted task becomes visible to
-    the scheduler only once virtual time reaches its arrival. *)
+    both leave the engine untouched. A task whose id equals that of a
+    pending (submitted, not yet scheduled) task is a programming error
+    and raises [Invalid_argument "Engine.submit: duplicate pending task
+    id <id>"] — the old list-based engine silently dropped both copies on
+    removal instead. Ids of already-scheduled tasks may be reused. An
+    accepted task becomes visible to the scheduler only once virtual time
+    reaches its arrival. O(log n) per submission, arrivals in any
+    order. *)
 
 val pending : t -> int
 (** Submitted tasks not yet scheduled (arrived or not). *)

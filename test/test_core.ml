@@ -6,8 +6,10 @@ let () =
       ("stats", Test_stats.suite);
       ("model", Test_model.suite);
       ("sim", Test_sim.suite);
+      ("iheap", Test_iheap.suite);
       ("johnson", Test_johnson.suite);
       ("heuristics", Test_heuristics.suite);
+      ("equiv", Test_equiv.suite);
       ("exact", Test_exact.suite);
       ("reduction", Test_reduction.suite);
       ("lp", Test_lp.suite);
