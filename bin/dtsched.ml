@@ -406,10 +406,14 @@ let serve_cmd =
       & opt (some domains_conv) None
       & info [ "j"; "domains" ] ~docv:"N"
           ~doc:
-            "Process ready request batches on a pool of $(docv) domains (0 = \
-             pick automatically). Without this option batches are processed \
-             on the event loop itself; connections are multiplexed and never \
-             block each other either way.")
+            "Run $(docv) engine shards, one domain each (0 = pick \
+             automatically from DTSCHED_DOMAINS or the host's core count). \
+             Each connection is pinned to one shard for its lifetime and its \
+             requests run there, off the event loop, so a slow request only \
+             delays its own shard ($(b,STATS) reports the shard and the \
+             pool's job/fallback/steal counters). Without this option \
+             requests are processed on the event loop itself; connections \
+             are multiplexed and never block each other's reads either way.")
   in
   let max_conns =
     Arg.(

@@ -106,6 +106,26 @@ cat BENCH_core.json
 echo "== scaling experiment (fast workload) =="
 EXPERIMENTS=scaling DTSCHED_FAST=1 dune exec bench/main.exe
 
+echo "== multi-domain fleet speedup gate =="
+# The sharded executor must actually win when there is hardware to win
+# on: with >= 2 cores, the best multi-domain fleet run must beat the
+# sequential baseline. Single-core runners cannot show a speedup by
+# construction (domains time-slice one core and couple their GCs), so
+# there the gate is skipped with a notice instead of silently passing.
+cores=$(grep -o '"recommended_domain_count": *[0-9]*' BENCH_fleet.json | grep -o '[0-9]*$' || echo 1)
+speedup=$(grep -o '"best_multi_domain_speedup": *[0-9.]*' BENCH_fleet.json | grep -o '[0-9.]*$' || echo 0)
+if [ "${cores:-1}" -ge 2 ]; then
+  if awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+    echo "fleet speedup gate OK: best multi-domain speedup ${speedup}x on ${cores} cores"
+  else
+    echo "FAIL: best multi-domain fleet speedup ${speedup}x < 1.0 with ${cores} cores available" >&2
+    exit 1
+  fi
+else
+  echo "NOTICE: single-core runner (recommended_domain_count=${cores}):"
+  echo "NOTICE: fleet speedup gate skipped (measured ${speedup}x; >1 requires >=2 cores)"
+fi
+
 echo "== online experiment (fast workload) =="
 EXPERIMENTS=online DTSCHED_FAST=1 dune exec bench/main.exe
 

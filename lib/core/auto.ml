@@ -12,8 +12,9 @@ let best_on ?state ?pool ~candidates instance =
         match pool with
         | None -> Array.of_list (List.map evaluate candidates)
         | Some pool ->
-            (* candidates are independent; the pool returns results in
-               candidate order, so the tie-break below is unchanged *)
+            (* candidates are independent; the sharded executor returns
+               results in candidate order whatever domain ran which chunk,
+               so the tie-break below is unchanged *)
             Dt_par.Pool.parallel_map pool evaluate (Array.of_list candidates)
       in
       (* first strictly-better wins: ties keep the earliest candidate, the

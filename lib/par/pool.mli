@@ -1,58 +1,104 @@
-(** A persistent pool of OCaml 5 domains for embarrassingly-parallel
-    evaluation.
+(** A persistent sharded executor on OCaml 5 domains.
 
-    The paper's setting is 150 independent per-process schedulers, and the
-    portfolio runtime tries every candidate heuristic on each of them — both
-    layers are pure fan-out over immutable inputs, so a fixed fleet of
-    domains with deterministic, index-ordered result collection is all the
-    machinery needed. Built directly on [Domain], [Mutex] and [Condition]
-    from the standard library (no external dependency).
+    The pool owns one worker domain per shard. Each shard has a small
+    private lock guarding two queues: a FIFO of {e pinned} tasks
+    (submitted to that shard explicitly with {!submit}, executed in
+    order by the shard's single worker, never stolen — the basis for the
+    runtime server's connection-to-shard affinity) and a queue of
+    {e stealable} chunk tasks produced by {!parallel_map}.
 
-    A pool is owned by the thread that created it. {!parallel_map} may be
-    called repeatedly (the domains persist between calls); a call issued
-    while another one is already running on the same pool — e.g. from a
-    worker of an enclosing {!parallel_map} — safely degrades to a
-    sequential [Array.map] instead of deadlocking, so nested parallel
-    structures are allowed even though only the outermost level actually
-    fans out. *)
+    {!parallel_map} splits the input into chunks sized by a measured
+    per-element cost estimate, scatters one claimable task per chunk
+    across the shards, and then helps: the calling domain claims and
+    executes chunks alongside the workers, so a job always completes
+    even if every worker is busy — concurrent and nested calls cannot
+    deadlock. Idle workers steal chunk tasks from other shards before
+    sleeping. Results are collected into per-index slots, so the output
+    is bit-identical to [Array.map f a] regardless of which domain
+    computed which element. *)
 
 type t
+(** A pool of worker domains. Create once, reuse across many calls. *)
+
+type stats = {
+  jobs : int;
+      (** total work accepted: [parallel_map] calls plus pinned
+          {!submit} tasks *)
+  fallbacks : int;
+      (** [parallel_map] calls that ran inline on the caller instead of
+          fanning out — nested calls from inside pool work, and jobs
+          predicted cheaper than a worker wakeup. A high ratio of
+          [fallbacks] to [jobs] means the pool is configured or used in
+          a way where parallelism never engages. *)
+  steals : int;
+      (** chunk tasks executed by a worker that took them from another
+          shard's queue *)
+}
 
 val create : ?num_domains:int -> unit -> t
-(** [create ()] spawns the worker domains. [num_domains] is the number of
-    computing domains and must be positive — zero or negative raises
-    [Invalid_argument] (CLI layers should catch and report it); when
-    omitted it is taken from the [DTSCHED_DOMAINS] environment variable,
-    which must then hold a positive integer (anything else raises
-    [Invalid_argument]), and otherwise defaults to
-    [Domain.recommended_domain_count () - 1] (at least 1), leaving one
-    core's worth of slack for the coordinating thread. *)
+(** [create ?num_domains ()] spawns the worker domains (one per shard).
+
+    [num_domains] defaults to the [DTSCHED_DOMAINS] environment variable
+    when set, otherwise to [Domain.recommended_domain_count () - 1]
+    (at least 1), leaving a core for the submitting domain.
+
+    @raise Invalid_argument if [num_domains <= 0], or if
+    [DTSCHED_DOMAINS] is set to anything but a positive integer. *)
 
 val num_domains : t -> int
-(** Number of computing domains the pool runs work on. *)
+(** Number of shards (= worker domains) in the pool. *)
 
-val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
-(** [parallel_map pool f a] computes [Array.map f a] on the pool's domains
-    and returns the results in index order — the outcome is bit-identical
-    to the sequential map whenever [f] is deterministic, regardless of how
-    the indices were interleaved across domains. Work is handed out in
-    contiguous chunks through a shared atomic cursor, so faster domains
-    steal the remaining range from slower ones.
+val stats : t -> stats
+(** Monotone counters since {!create}. Cheap; safe from any domain. *)
 
-    If any application of [f] raises, the remaining chunks are abandoned,
-    every domain quiesces, and the first exception raised (by claim order)
-    is re-raised in the caller with its original backtrace.
+val parallel_map : ?min_chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f a] is [Array.map f a], computed cooperatively
+    by the calling domain and the pool's workers. Bit-identical to the
+    sequential map; if any [f] application raises, the first such
+    exception is re-raised in the caller (with its backtrace) after the
+    job quiesces, and the pool remains usable.
 
-    Empty and single-element arrays, and calls issued while the pool is
-    already busy (nested parallelism), are evaluated sequentially in the
-    calling domain. Calling after {!shutdown} raises [Invalid_argument]. *)
+    [min_chunk] (default 1) floors the chunk size: no task smaller than
+    [min_chunk] elements is created, which caps scheduling overhead for
+    maps over many very cheap elements. The effective chunk size also
+    accounts for a running estimate of per-element cost — see
+    {!chunk_size}.
+
+    Calls from inside pool work (nested parallelism) and jobs predicted
+    cheaper than a worker wakeup run inline on the caller; both are
+    counted in {!stats}[.fallbacks].
+
+    @raise Invalid_argument if the pool is shut down or [min_chunk < 1]. *)
+
+val chunk_size : t -> ?min_chunk:int -> int -> int
+(** [chunk_size pool ?min_chunk n] is the chunk size {!parallel_map}
+    would use right now for an [n]-element input: the measured-cost
+    target (about 200us of work per chunk) when a cost estimate exists,
+    otherwise [n / (4 * num_domains)] rounded up — in both cases capped
+    so at least two chunks per domain exist when [n] allows, and floored
+    by [min_chunk]. Exposed for tests and introspection; the estimate
+    evolves as jobs run. *)
+
+val submit : t -> shard:int -> (unit -> unit) -> unit
+(** [submit pool ~shard task] enqueues [task] on shard
+    [shard mod num_domains pool]. Pinned tasks on the same shard are
+    executed sequentially, in submission order, by that shard's single
+    worker domain — two tasks pinned to the same shard never run
+    concurrently, which lets per-shard state go lock-free. Pinned tasks
+    are never stolen. [task] must not raise; exceptions escaping it are
+    discarded.
+
+    @raise Invalid_argument if the pool is shut down or [shard < 0]. *)
 
 val shutdown : t -> unit
-(** Terminate and join the worker domains. Calling it again is a defined
-    no-op (the first call joins, later calls return immediately), and
-    any subsequent {!parallel_map} raises [Invalid_argument] — both are
-    regression-tested. *)
+(** Stops and joins the worker domains. Idempotent. Pinned tasks not yet
+    started are dropped (drain before shutdown if that matters). Any
+    {!parallel_map} or {!submit} after shutdown raises
+    [Invalid_argument]. *)
 
 val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
-(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
-    whether [f] returns or raises. *)
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on exit,
+    normal or exceptional. *)
+
+val default_num_domains : unit -> int
+(** The domain count {!create} uses when [num_domains] is omitted. *)

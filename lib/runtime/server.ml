@@ -29,7 +29,11 @@ let port t = t.port
 type conn = {
   fd : Unix.file_descr;
   session : Session.t;
+  shard : int;            (* fixed at accept: the pool shard that runs
+                             every batch of this connection's requests *)
   rbuf : Buffer.t;        (* received bytes not yet forming a full line *)
+  inbox : string Queue.t; (* complete request lines awaiting dispatch *)
+  mutable busy : bool;    (* a batch is in flight on the shard *)
   mutable out : string;   (* response bytes currently being written *)
   mutable out_off : int;  (* prefix of [out] already on the wire *)
   outq : Buffer.t;        (* responses queued behind [out] *)
@@ -41,13 +45,16 @@ type conn = {
    answered ERR parse and disconnected instead of growing rbuf forever. *)
 let max_line_bytes = 65536
 
-let make_conn fd =
+let make_conn ?info ~shard fd =
   Unix.set_nonblock fd;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
   {
     fd;
-    session = Session.create ();
+    session = Session.create ?info ();
+    shard;
     rbuf = Buffer.create 256;
+    inbox = Queue.create ();
+    busy = false;
     out = "";
     out_off = 0;
     outq = Buffer.create 256;
@@ -111,11 +118,12 @@ let take_lines c =
   List.rev !lines
 
 (* Run one connection's batch of parsed-off lines through its session.
-   This is the piece that fans out on the pool: sessions are fully
-   independent, and one connection's batch stays on one domain, in
-   order. Session.handle_line never raises by contract; the handler here
-   is the last line of defense so that an escaped exception tears down
-   one connection, never the event loop. *)
+   With a pool, this executes as a pinned task on the connection's shard:
+   one batch at a time per connection (the [busy] flag), batches in
+   arrival order, so the session needs no lock even though it runs on a
+   worker domain. Session.handle_line never raises by contract; the
+   handler here is the last line of defense so that an escaped exception
+   tears down one connection, never the event loop. *)
 let process_lines session lines =
   let rec go acc control = function
     | [] -> (List.rev acc, control)
@@ -165,6 +173,96 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
     conns := List.filter (fun c' -> c' != c) !conns;
     close_fd c.fd
   in
+  (* -------- shard dispatch machinery (engaged when [pool] is set) ----
+     Each connection's batches run as pinned tasks on its shard; the
+     event loop never blocks on them. Finished batches come back through
+     [completions] (guarded by [comp_mutex]); the self-pipe wakes the
+     select so a response is flushed as soon as its batch ends, not at
+     the next timeout tick. *)
+  let num_shards =
+    match pool with Some p -> Dt_par.Pool.num_domains p | None -> 1
+  in
+  let next_shard = ref 0 in
+  let comp_mutex = Mutex.create () in
+  let completions = ref ([] : (conn * (string list * Session.control)) list) in
+  let in_flight = Atomic.make 0 in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let wake () =
+    (* a full pipe already guarantees a pending wakeup; a closed one
+       means the loop is past caring *)
+    try ignore (Unix.write_substring wake_w "!" 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  let drain_wake () =
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read wake_r buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+  in
+  let conn_info shard () =
+    match pool with
+    | None -> ""
+    | Some p ->
+        let s = Dt_par.Pool.stats p in
+        Printf.sprintf "shard=%d pool_jobs=%d pool_fallbacks=%d pool_steals=%d"
+          shard s.Dt_par.Pool.jobs s.Dt_par.Pool.fallbacks s.Dt_par.Pool.steals
+  in
+  (* Hand a connection's queued lines to its shard, unless a batch is
+     already in flight there (per-connection order) or inline when the
+     server runs without a pool. *)
+  let rec dispatch c =
+    if (not c.busy) && (not c.closing) && not (Queue.is_empty c.inbox) then begin
+      let lines = List.of_seq (Queue.to_seq c.inbox) in
+      Queue.clear c.inbox;
+      match pool with
+      | None -> apply c (process_lines c.session lines)
+      | Some p ->
+          c.busy <- true;
+          Atomic.incr in_flight;
+          Dt_par.Pool.submit p ~shard:c.shard (fun () ->
+              let result = process_lines c.session lines in
+              Mutex.lock comp_mutex;
+              completions := (c, result) :: !completions;
+              Mutex.unlock comp_mutex;
+              wake ();
+              (* last action: after this decrement the task provably
+                 holds no reference to the wake pipe *)
+              Atomic.decr in_flight)
+    end
+  and apply c (responses, control) =
+    enqueue c responses;
+    match control with
+    | Session.Continue -> ()
+    | Session.Close_session -> c.closing <- true
+    | Session.Stop_server ->
+        c.closing <- true;
+        Atomic.set t.stop true
+  in
+  let apply_completions () =
+    let ready =
+      Mutex.lock comp_mutex;
+      let l = !completions in
+      completions := [];
+      Mutex.unlock comp_mutex;
+      List.rev l
+    in
+    List.iter
+      (fun (c, result) ->
+        c.busy <- false;
+        apply c result;
+        (* lines may have queued up while the batch was in flight *)
+        dispatch c)
+      ready
+  in
   (* EOF, a read/write error, or data arriving: returns [true] when the
      connection is still alive afterwards. *)
   let handle_read c =
@@ -193,7 +291,13 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
              with Unix.Unix_error _ -> ());
             close_fd fd
           end
-          else conns := make_conn fd :: !conns;
+          else begin
+            (* round-robin connection-to-shard affinity: fixed for the
+               connection's whole lifetime *)
+            let shard = !next_shard in
+            next_shard := (shard + 1) mod num_shards;
+            conns := make_conn ~info:(conn_info shard) ~shard fd :: !conns
+          end;
           go ()
     in
     go ()
@@ -203,11 +307,19 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
       restore ();
       close_fd t.listen_fd;
       List.iter (fun c -> close_fd c.fd) !conns;
-      conns := [])
+      conns := [];
+      (* Only reclaim the self-pipe once no task can touch it again: a
+         batch stuck past the drain deadline still holds [wake_w], and
+         closing would let the fd number be reused under it. Leaking two
+         fds in that pathological case is the safe trade. *)
+      if Atomic.get in_flight = 0 then begin
+        close_fd wake_r;
+        close_fd wake_w
+      end)
     (fun () ->
       while not (Atomic.get t.stop) do
         let readers =
-          t.listen_fd
+          t.listen_fd :: wake_r
           :: List.filter_map
                (fun c -> if c.closing then None else Some c.fd)
                !conns
@@ -218,68 +330,51 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
         match Unix.select readers writers [] 0.2 with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | ready_r, _ready_w, _ ->
-            (* 1. read from every ready connection (EOF drops it, pending
+            (* 1. collect batches finished on the shards since last round
+               (the wake pipe made select return immediately for them) *)
+            if List.mem wake_r ready_r then drain_wake ();
+            apply_completions ();
+            (* 2. read from every ready connection (EOF drops it, pending
                output and all: the peer is gone) *)
             List.iter
               (fun c ->
                 if (not c.closing) && List.mem c.fd ready_r then
                   if not (handle_read c) then drop c)
               !conns;
-            (* 2. accept after reads, so slots freed by disconnections in
+            (* 3. accept after reads, so slots freed by disconnections in
                this very round are visible to the max_conns check *)
             if List.mem t.listen_fd ready_r then accept_all ();
-            (* 3. gather each connection's complete lines and process the
-               ready batch — in parallel across connections when a pool
-               is available, always sequentially within one connection *)
-            let batch =
-              List.filter_map
-                (fun c ->
-                  if c.closing then None
+            (* 4. parse complete lines into each connection's inbox, then
+               dispatch: one pinned batch per connection on its shard
+               (inline without a pool) — always in order within a
+               connection, and a slow batch only ever delays its own
+               shard, never the loop *)
+            List.iter
+              (fun c ->
+                if not c.closing then
+                  if Buffer.length c.rbuf > max_line_bytes then begin
+                    enqueue c
+                      [
+                        Protocol.err ~code:"parse"
+                          (Printf.sprintf "request line exceeds %d bytes"
+                             max_line_bytes);
+                      ];
+                    c.closing <- true
+                  end
                   else begin
-                    if Buffer.length c.rbuf > max_line_bytes then begin
-                      enqueue c
-                        [
-                          Protocol.err ~code:"parse"
-                            (Printf.sprintf "request line exceeds %d bytes"
-                               max_line_bytes);
-                        ];
-                      c.closing <- true;
-                      None
-                    end
-                    else
-                      match take_lines c with
-                      | [] -> None
-                      | lines -> Some (c, lines)
+                    List.iter (fun l -> Queue.push l c.inbox) (take_lines c);
+                    dispatch c
                   end)
-                !conns
-            in
-            let batch = Array.of_list batch in
-            let outcomes =
-              match pool with
-              | Some p when Array.length batch > 1 ->
-                  Dt_par.Pool.parallel_map p
-                    (fun (c, lines) -> process_lines c.session lines)
-                    batch
-              | _ ->
-                  Array.map (fun (c, lines) -> process_lines c.session lines) batch
-            in
-            Array.iteri
-              (fun i (responses, control) ->
-                let c, _ = batch.(i) in
-                enqueue c responses;
-                match control with
-                | Session.Continue -> ()
-                | Session.Close_session -> c.closing <- true
-                | Session.Stop_server ->
-                    c.closing <- true;
-                    Atomic.set t.stop true)
-              outcomes;
-            (* 4. idle-connection timeout *)
+              !conns;
+            (* 5. idle-connection timeout (a connection with a batch in
+               flight is working, not idle) *)
             if idle_timeout > 0.0 then begin
               let now = Unix.gettimeofday () in
               List.iter
                 (fun c ->
-                  if (not c.closing) && now -. c.last_activity >= idle_timeout
+                  if
+                    (not c.closing) && (not c.busy)
+                    && now -. c.last_activity >= idle_timeout
                   then begin
                     enqueue c
                       [
@@ -291,24 +386,36 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
                   end)
                 !conns
             end;
-            (* 5. opportunistic writes (select wakes us again if a socket
-               buffer filled up), then reap drained closing connections *)
+            (* 6. opportunistic writes (select wakes us again if a socket
+               buffer filled up), then reap drained closing connections
+               whose last batch has come back *)
             List.iter (fun c -> if not (flush_output c) then drop c) !conns;
             List.iter
-              (fun c -> if c.closing && not (has_output c) then drop c)
+              (fun c ->
+                if c.closing && (not c.busy) && not (has_output c) then drop c)
               !conns
       done;
-      (* graceful drain: stop accepting, deliver every queued response
-         (the SHUTDOWN acknowledgement in particular), then close all
-         remaining connections — bounded so one stuck reader cannot hold
+      (* graceful drain: stop accepting, wait (bounded) for in-flight
+         batches, deliver every queued response (the SHUTDOWN
+         acknowledgement in particular), then close all remaining
+         connections — so one stuck reader or one slow batch cannot hold
          the shutdown hostage *)
       close_fd t.listen_fd;
       let deadline = Unix.gettimeofday () +. drain_deadline_s in
       let rec drain () =
+        drain_wake ();
+        apply_completions ();
         List.iter (fun c -> if not (flush_output c) then drop c) !conns;
-        List.iter (fun c -> if not (has_output c) then drop c) !conns;
+        List.iter
+          (fun c -> if (not c.busy) && not (has_output c) then drop c)
+          !conns;
         if !conns <> [] && Unix.gettimeofday () < deadline then begin
-          (match Unix.select [] (List.map (fun c -> c.fd) !conns) [] 0.05 with
+          let writers =
+            List.filter_map
+              (fun c -> if has_output c then Some c.fd else None)
+              !conns
+          in
+          (match Unix.select [ wake_r ] writers [] 0.05 with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
           | _ -> ());
           drain ()

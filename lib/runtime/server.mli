@@ -2,21 +2,28 @@
     speaking the newline-delimited protocol of {!Protocol}, one
     {!Session} per connection.
 
-    Concurrency model: a single multiplexed, non-blocking event loop.
-    Every live connection sits in one [Unix.select] set with a
+    Concurrency model: a single multiplexed, non-blocking event loop
+    plus — when a {!Dt_par.Pool} is given — one engine shard per pool
+    domain. Every live connection sits in one [Unix.select] set with a
     per-connection read buffer (partial lines are reassembled, so a
     client trickling one request byte by byte never stalls the others)
     and a per-connection write buffer (partial writes are resumed when
-    the socket drains). Each round, the complete request lines of every
-    ready connection are processed as a batch — fanned out across a
-    {!Dt_par.Pool} when one is given, one connection per domain, always
-    in order within a connection — and the responses are queued on the
-    writers. An idle or slow connection therefore costs one fd and
-    nothing else: no domain is parked on it, and a second client's
-    round-trip completes even on a 1-domain pool while the first holds
-    its connection open (no head-of-line blocking). Sessions are fully
-    independent: each owns its engine, so no lock is shared across
-    domains.
+    the socket drains). Each accepted connection is pinned round-robin
+    to a shard for its whole lifetime; its complete request lines are
+    handed to that shard as pinned batches (one in flight per
+    connection, batches in arrival order) and the loop moves on — a
+    self-pipe wakes the select the moment a batch finishes, so its
+    responses are flushed immediately. Because a shard executes its
+    pinned tasks one at a time, a session is only ever touched by its
+    shard's worker, with no locking, and a slow request delays only the
+    connections of its own shard — other shards, and the event loop,
+    keep going (no cross-shard head-of-line blocking). An idle or slow
+    connection costs one fd and nothing else: no domain is parked on
+    it. [STATS] responses carry the connection's shard and the pool's
+    job/fallback/steal counters. Without a pool, batches are processed
+    inline on the loop — the single-shard collapse; concurrency across
+    connections still holds because no connection ever blocks the
+    loop's reads.
 
     Fault containment: SIGPIPE is ignored, so a peer that disconnects
     mid-response surfaces as a write error that closes that one
@@ -59,12 +66,14 @@ val run :
     then drain and close (see the concurrency model above).
     [max_conns] (default [512], must be positive) bounds simultaneous
     connections; [idle_timeout] (seconds; default [0.] = disabled, must
-    be non-negative) reaps silent connections. [on_listen] is called
-    once with the bound port just before the first accept (the CLI
-    prints/writes the port there, so scripts can synchronise). Without
-    a [pool], ready batches are processed sequentially — concurrency
-    across connections still holds, because no connection ever blocks
-    the loop. *)
+    be non-negative) reaps silent connections — a connection whose
+    batch is in flight on its shard counts as active, not idle.
+    [on_listen] is called once with the bound port just before the
+    first accept (the CLI prints/writes the port there, so scripts can
+    synchronise). With a [pool], connections are sharded across its
+    domains as described above; the pool is borrowed, not owned — the
+    caller shuts it down after [run] returns. Without a [pool], ready
+    batches are processed sequentially on the loop. *)
 
 val serve_stdio : unit -> unit
 (** Serve exactly one session over stdin/stdout (requests in, responses

@@ -3,9 +3,10 @@ open Dt_core
 type t = {
   mutable engine : Engine.t option;
   mutable next_id : int; (* task ids are the session submission order *)
+  info : unit -> string; (* host-supplied fields appended to STATS *)
 }
 
-let create () = { engine = None; next_id = 0 }
+let create ?(info = fun () -> "") () = { engine = None; next_id = 0; info }
 let engine t = t.engine
 
 type control = Continue | Close_session | Stop_server
@@ -19,14 +20,17 @@ let strip line =
   String.sub line 0 !stop
 
 let stats_line t =
-  match t.engine with
-  | None -> Protocol.ok "uninitialised"
-  | Some e ->
-      Protocol.ok
-        (Printf.sprintf
-           "scheduled=%d pending=%d rejected=%d now=%.17g makespan=%.17g"
-           (Engine.scheduled e) (Engine.pending e) (Engine.rejected e)
-           (Engine.now e) (Engine.makespan e))
+  let base =
+    match t.engine with
+    | None -> "uninitialised"
+    | Some e ->
+        Printf.sprintf
+          "scheduled=%d pending=%d rejected=%d now=%.17g makespan=%.17g"
+          (Engine.scheduled e) (Engine.pending e) (Engine.rejected e)
+          (Engine.now e) (Engine.makespan e)
+  in
+  let extra = try t.info () with _ -> "" in
+  Protocol.ok (if extra = "" then base else base ^ " " ^ extra)
 
 let with_engine t f =
   match t.engine with

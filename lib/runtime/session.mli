@@ -6,9 +6,15 @@
 
 type t
 
-val create : unit -> t
+val create : ?info:(unit -> string) -> unit -> t
 (** A fresh, uninitialised session: every request except [INIT], [STATS],
-    [QUIT] and [SHUTDOWN] answers [ERR state] until [INIT] arrives. *)
+    [QUIT] and [SHUTDOWN] answers [ERR state] until [INIT] arrives.
+
+    [info] (default: returns [""]) supplies host-side [key=value] fields
+    that are appended, space-separated, to every [STATS] response — the
+    TCP server reports the connection's shard and the pool's job /
+    fallback / steal counters through it. An empty result appends
+    nothing; an exception from [info] is treated as empty. *)
 
 val engine : t -> Engine.t option
 (** The engine created by [INIT], if any (exposed for tests/benches). *)

@@ -40,7 +40,9 @@ let run ?(capacity_factor = 1.5) ?pool policy traces =
   if Array.length traces = 0 then invalid_arg "Fleet.run: empty trace set";
   let processes =
     (* the per-process schedulers are independent (the paper's 150 workers
-       never interact): one pool task per trace, results in trace order *)
+       never interact): the sharded executor chunks the traces across its
+       domains (work stealing rebalances uneven processes) and returns the
+       outcomes in trace order, bit-identical to the sequential map *)
     match pool with
     | None -> Array.map (run_process ~capacity_factor policy) traces
     | Some pool ->

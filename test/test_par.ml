@@ -149,6 +149,119 @@ let shutdown_is_defined () =
   Alcotest.check_raises "even on the sequential small-array path" after (fun () ->
       ignore (Dt_par.Pool.parallel_map p succ [| 0 |]))
 
+(* Satellite: the silent sequential fallback is silent no more — inline
+   executions (nested calls in particular) show up in Pool.stats. *)
+let stats_expose_fallbacks () =
+  Dt_par.Pool.with_pool ~num_domains:2 (fun p ->
+      let before = Dt_par.Pool.stats p in
+      Alcotest.(check int) "fresh pool: no jobs" 0 before.Dt_par.Pool.jobs;
+      let outer = Array.init 4 (fun i -> i) in
+      let inner = Array.init 400 (fun i -> i) in
+      ignore
+        (Dt_par.Pool.parallel_map p
+           (fun i ->
+             Array.fold_left ( + ) i (Dt_par.Pool.parallel_map p succ inner))
+           outer);
+      let s = Dt_par.Pool.stats p in
+      (* outer call + 4 nested calls all count as accepted jobs *)
+      Alcotest.(check int) "jobs counted" 5 s.Dt_par.Pool.jobs;
+      (* every nested call ran inline, deterministically *)
+      Alcotest.(check int) "nested calls counted as fallbacks" 4
+        s.Dt_par.Pool.fallbacks;
+      Alcotest.(check bool) "steal counter is non-negative" true
+        (s.Dt_par.Pool.steals >= 0))
+
+(* Satellite: chunk sizing at the boundary sizes n = d, d+1, 4d. An
+   uncalibrated pool must produce sane chunks (no empty chunk, never
+   larger than the balance cap), and min_chunk floors the result. *)
+let chunk_size_boundaries () =
+  Dt_par.Pool.with_pool ~num_domains:3 (fun p ->
+      let d = Dt_par.Pool.num_domains p in
+      List.iter
+        (fun n ->
+          let c = Dt_par.Pool.chunk_size p n in
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk for n=%d is positive" n)
+            true (c >= 1);
+          let balance_cap = max 1 ((n + (2 * d) - 1) / (2 * d)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk for n=%d leaves >= 2 chunks per domain" n)
+            true
+            (c <= balance_cap);
+          (* min_chunk floors the size even past the balance cap *)
+          Alcotest.(check int)
+            (Printf.sprintf "min_chunk floors n=%d" n)
+            (max 16 c)
+            (Dt_par.Pool.chunk_size p ~min_chunk:16 n))
+        [ d; d + 1; 4 * d ];
+      (* a degenerate 1-element-per-domain split is still correct *)
+      List.iter
+        (fun n ->
+          let a = Array.init n (fun i -> i) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map at boundary n=%d" n)
+            (Array.map succ a)
+            (Dt_par.Pool.parallel_map p succ a);
+          Alcotest.(check (array int))
+            (Printf.sprintf "map at boundary n=%d with min_chunk" n)
+            (Array.map succ a)
+            (Dt_par.Pool.parallel_map ~min_chunk:8 p succ a))
+        [ d; d + 1; 4 * d ];
+      Alcotest.check_raises "min_chunk must be positive"
+        (Invalid_argument
+           "Pool.parallel_map: min_chunk must be positive (got 0)")
+        (fun () -> ignore (Dt_par.Pool.parallel_map ~min_chunk:0 p succ [| 1; 2; 3 |])))
+
+(* Concurrent parallel_map calls from several domains on one pool: each
+   caller helps with its own job's chunks, so all of them complete and
+   each result is exactly the sequential map. *)
+let concurrent_callers () =
+  let pool = Lazy.force pool in
+  let callers =
+    Array.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            let a = Array.init 300 (fun i -> (k * 1000) + i) in
+            let f x = (x * 3) + (x mod 11) in
+            Dt_par.Pool.parallel_map pool f a = Array.map f a))
+  in
+  Array.iteri
+    (fun k d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "caller %d got the sequential result" k)
+        true (Domain.join d))
+    callers
+
+(* Pinned submissions execute on their shard in submission order. *)
+let submit_is_ordered_per_shard () =
+  Dt_par.Pool.with_pool ~num_domains:2 (fun p ->
+      let log = Array.make 2 [] in
+      let mutex = Mutex.create () in
+      let remaining = Atomic.make 20 in
+      for i = 0 to 19 do
+        let shard = i mod 2 in
+        Dt_par.Pool.submit p ~shard (fun () ->
+            Mutex.lock mutex;
+            log.(shard) <- i :: log.(shard);
+            Mutex.unlock mutex;
+            Atomic.decr remaining)
+      done;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Atomic.get remaining > 0 && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check int) "all pinned tasks ran" 0 (Atomic.get remaining);
+      Mutex.lock mutex;
+      let seen = Array.map List.rev log in
+      Mutex.unlock mutex;
+      Alcotest.(check (list int))
+        "shard 0 in submission order"
+        [ 0; 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
+        seen.(0);
+      Alcotest.(check (list int))
+        "shard 1 in submission order"
+        [ 1; 3; 5; 7; 9; 11; 13; 15; 17; 19 ]
+        seen.(1))
+
 let create_rejects_bad_sizes () =
   List.iter
     (fun n ->
@@ -166,6 +279,10 @@ let suite =
     Alcotest.test_case "create rejects non-positive sizes" `Quick create_rejects_bad_sizes;
     Alcotest.test_case "exception propagation" `Quick exceptions_propagate;
     Alcotest.test_case "nested calls fall back to sequential" `Quick nested_calls_degrade;
+    Alcotest.test_case "stats expose inline fallbacks" `Quick stats_expose_fallbacks;
+    Alcotest.test_case "chunk sizing at boundary sizes" `Quick chunk_size_boundaries;
+    Alcotest.test_case "concurrent callers all complete" `Quick concurrent_callers;
+    Alcotest.test_case "pinned submit is FIFO per shard" `Quick submit_is_ordered_per_shard;
     prop_parallel_map_is_map;
     Alcotest.test_case "fleet: pool = sequential, bit for bit" `Quick
       fleet_parallel_is_sequential;

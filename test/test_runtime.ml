@@ -601,6 +601,190 @@ let shutdown_drains_open_connections () =
         (String.concat " | " lines));
   Dt_runtime.Client.close idle
 
+(* ------------------------- sharded server ---------------------------- *)
+
+let shard_field line = Dt_runtime.Client.response_field "shard" line
+
+(* Affinity: a connection's shard is assigned at accept and never moves;
+   consecutive connections land on different shards (round-robin over 2);
+   STATS carries the pool counters. *)
+let shard_affinity_and_stats () =
+  Dt_par.Pool.with_pool ~num_domains:2 (fun pool ->
+      with_server ~pool (fun port ->
+          let a = Dt_runtime.Client.connect ~port () in
+          Fun.protect
+            ~finally:(fun () -> Dt_runtime.Client.close a)
+            (fun () ->
+              (* a is accepted before b connects, so the round-robin
+                 counter has advanced exactly once in between *)
+              let stats_a1 =
+                expect_ok "STATS a" (Dt_runtime.Client.request a Protocol.Stats)
+              in
+              let b = Dt_runtime.Client.connect ~port () in
+              Fun.protect
+                ~finally:(fun () -> Dt_runtime.Client.close b)
+                (fun () ->
+                  let stats_b =
+                    expect_ok "STATS b" (Dt_runtime.Client.request b Protocol.Stats)
+                  in
+                  ignore
+                    (expect_ok "INIT a"
+                       (Dt_runtime.Client.request_line a "INIT 10 OOSCMR"));
+                  ignore
+                    (expect_ok "SUBMIT a"
+                       (Dt_runtime.Client.request_line a "SUBMIT x 1 0.5 1"));
+                  let stats_a2 =
+                    expect_ok "STATS a again"
+                      (Dt_runtime.Client.request a Protocol.Stats)
+                  in
+                  (match (shard_field stats_a1, shard_field stats_a2) with
+                  | Some s1, Some s2 ->
+                      Alcotest.(check (float 0.0))
+                        "shard stable across a connection's lifetime" s1 s2
+                  | _ -> Alcotest.fail "STATS must report the shard");
+                  (match (shard_field stats_a1, shard_field stats_b) with
+                  | Some sa, Some sb ->
+                      Alcotest.(check bool)
+                        "consecutive connections on different shards" true
+                        (sa <> sb)
+                  | _ -> Alcotest.fail "STATS must report the shard");
+                  match
+                    Dt_runtime.Client.response_field "pool_jobs" stats_a2
+                  with
+                  | Some jobs ->
+                      (* every request batch so far was a pinned pool job *)
+                      Alcotest.(check bool)
+                        "pool job counter visible and advancing" true
+                        (jobs >= 4.0)
+                  | None -> Alcotest.fail "STATS must report pool_jobs"))))
+
+(* No cross-shard head-of-line blocking: while one shard is stuck in a
+   slow request, a connection on the other shard completes a full session
+   promptly. (The pre-shard server fanned ready batches out through one
+   barrier per round: the slow batch would have delayed everyone.) *)
+let cross_shard_progress () =
+  let slow_s = 0.8 in
+  Session.fault_hook :=
+    (fun req ->
+      match req with
+      | Protocol.Submit { label = "slow"; _ } -> Unix.sleepf slow_s
+      | _ -> ());
+  Fun.protect
+    ~finally:(fun () -> Session.fault_hook := fun _ -> ())
+    (fun () ->
+      (* hook installed before the domains spawn: they see it *)
+      Dt_par.Pool.with_pool ~num_domains:2 (fun pool ->
+          with_server ~pool (fun port ->
+              let fd = raw_connect port in
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () ->
+                  let send s =
+                    ignore (Unix.write_substring fd s 0 (String.length s))
+                  in
+                  let ic = Unix.in_channel_of_descr fd in
+                  send "INIT 10 OOSCMR\n";
+                  Alcotest.(check bool) "INIT answered" true
+                    (starts_with "OK" (input_line ic));
+                  (* fire the slow request and do NOT wait for the answer *)
+                  send "SUBMIT slow 1 0.5 1\n";
+                  Unix.sleepf 0.05 (* let it reach its shard *);
+                  let t0 = Unix.gettimeofday () in
+                  round_trip port (* lands on the other shard *);
+                  let elapsed = Unix.gettimeofday () -. t0 in
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "other shard served a full session in %.2fs while one \
+                        shard slept %.1fs"
+                       elapsed slow_s)
+                    true
+                    (elapsed < slow_s -. 0.1);
+                  (* the slow request itself completes fine afterwards *)
+                  Alcotest.(check bool) "slow SUBMIT answered" true
+                    (starts_with "OK accepted" (input_line ic))))))
+
+(* SHUTDOWN drains every shard: sessions with work on both shards get
+   their queued responses before the server goes away. *)
+let shutdown_drains_all_shards () =
+  Dt_par.Pool.with_pool ~num_domains:2 (fun pool ->
+      let server = Dt_runtime.Server.create ~port:0 () in
+      let port = Dt_runtime.Server.port server in
+      let domain =
+        Domain.spawn (fun () -> Dt_runtime.Server.run ~pool server)
+      in
+      let a = Dt_runtime.Client.connect ~port () in
+      let b = Dt_runtime.Client.connect ~port () in
+      ignore (expect_ok "INIT a" (Dt_runtime.Client.request_line a "INIT 10 OOSCMR"));
+      ignore (expect_ok "INIT b" (Dt_runtime.Client.request_line b "INIT 10 OOSCMR"));
+      ignore (expect_ok "SUBMIT b" (Dt_runtime.Client.request_line b "SUBMIT y 1 0.5 1"));
+      (* SHUTDOWN from a (one shard) while b (the other shard) is live:
+         the acknowledgement must arrive, then everything closes *)
+      ignore (expect_ok "SHUTDOWN" (Dt_runtime.Client.request a Protocol.Shutdown));
+      Domain.join domain;
+      (match Dt_runtime.Client.request b Protocol.Stats with
+      | exception (Failure _ | Sys_error _ | Unix.Unix_error _) -> ()
+      | lines ->
+          Alcotest.failf "other shard's connection survived shutdown: %s"
+            (String.concat " | " lines));
+      Dt_runtime.Client.close a;
+      Dt_runtime.Client.close b)
+
+(* DTSCHED_DOMAINS=1 collapses to the single-shard behaviour the rest of
+   the suite pins: every connection on shard 0, order preserved. *)
+let single_shard_collapse () =
+  let previous = Sys.getenv_opt "DTSCHED_DOMAINS" in
+  Unix.putenv "DTSCHED_DOMAINS" "1";
+  Fun.protect
+    ~finally:(fun () ->
+      match previous with
+      | Some v -> Unix.putenv "DTSCHED_DOMAINS" v
+      | None -> Unix.putenv "DTSCHED_DOMAINS" "1")
+    (fun () ->
+      Alcotest.(check int)
+        "DTSCHED_DOMAINS=1 sizes the default pool to one shard" 1
+        (Dt_par.Pool.default_num_domains ());
+      Dt_par.Pool.with_pool (fun pool ->
+          Alcotest.(check int) "one shard" 1 (Dt_par.Pool.num_domains pool);
+          with_server ~pool (fun port ->
+              (* both connections land on the only shard *)
+              let a = Dt_runtime.Client.connect ~port () in
+              Fun.protect
+                ~finally:(fun () -> Dt_runtime.Client.close a)
+                (fun () ->
+                  let sa =
+                    expect_ok "STATS a" (Dt_runtime.Client.request a Protocol.Stats)
+                  in
+                  Alcotest.(check (option (float 0.0)))
+                    "first connection on shard 0" (Some 0.0) (shard_field sa);
+                  round_trip port;
+                  let sb =
+                    expect_ok "STATS a after neighbour"
+                      (Dt_runtime.Client.request a Protocol.Stats)
+                  in
+                  Alcotest.(check (option (float 0.0)))
+                    "still shard 0" (Some 0.0) (shard_field sb);
+                  (* pipelined writes keep order through the shard *)
+                  let fd = raw_connect port in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      try Unix.close fd with Unix.Unix_error _ -> ())
+                    (fun () ->
+                      let s = "INIT 10 OOSCMR\nSUBMIT a 1 0.5 1\nSTATS\nQUIT\n" in
+                      ignore (Unix.write_substring fd s 0 (String.length s));
+                      let ic = Unix.in_channel_of_descr fd in
+                      let expect what prefix =
+                        match input_line ic with
+                        | line ->
+                            Alcotest.(check bool) what true (starts_with prefix line)
+                        | exception End_of_file ->
+                            Alcotest.failf "%s: connection closed" what
+                      in
+                      expect "INIT answer" "OK capacity=10";
+                      expect "SUBMIT answer" "OK accepted id=0";
+                      expect "STATS answer" "OK scheduled=";
+                      expect "QUIT answer" "OK bye")))))
+
 let client_survives_server_close () =
   (* writing into a dead server must raise, not SIGPIPE the process *)
   let server = Dt_runtime.Server.create ~port:0 () in
@@ -645,6 +829,14 @@ let suite =
     Alcotest.test_case "pipelined requests keep order" `Quick pipelined_requests;
     Alcotest.test_case "SHUTDOWN drains with clients open" `Quick
       shutdown_drains_open_connections;
+    Alcotest.test_case "shard affinity is stable; STATS shows pool counters"
+      `Quick shard_affinity_and_stats;
+    Alcotest.test_case "slow shard does not block the others" `Quick
+      cross_shard_progress;
+    Alcotest.test_case "SHUTDOWN drains every shard" `Quick
+      shutdown_drains_all_shards;
+    Alcotest.test_case "DTSCHED_DOMAINS=1 collapses to one shard" `Quick
+      single_shard_collapse;
     Alcotest.test_case "client survives server close (SIGPIPE)" `Quick
       client_survives_server_close;
   ]
