@@ -194,12 +194,8 @@ let run () =
   Printf.printf
     "\nfitted exponent (after): offline %.2f, online %.2f; speedup: offline %s, online %s\n"
     exp_offline exp_online (pp_speedup sp_offline) (pp_speedup sp_online);
-  let oc = open_out "BENCH_core.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "{\n  \"experiment\": \"core-scaling\",\n";
-      output_string oc (Provenance.json_fields ());
+  Provenance.write_artifact ~path:"BENCH_core.json" ~experiment:"core-scaling"
+    (fun oc ->
       Printf.fprintf oc
         "  \"fast_mode\": %b,\n  \"offline_policies\": %d,\n\
         \  \"online_policy\": \"%s\",\n  \"arrival_load\": 2.0,\n  \"points\": [\n"
@@ -223,9 +219,8 @@ let run () =
       Printf.fprintf oc
         "  ],\n  \"fitted_exponent_after\": { \"offline\": %.3f, \"online\": %.3f },\n"
         exp_offline exp_online;
-      Printf.fprintf oc "  \"speedup\": { \"offline\": %a, \"online\": %a }\n}\n"
-        pp_speedup_json sp_offline pp_speedup_json sp_online);
-  Printf.printf "wrote BENCH_core.json\n"
+      Printf.fprintf oc "  \"speedup\": { \"offline\": %a, \"online\": %a }\n"
+        pp_speedup_json sp_offline pp_speedup_json sp_online)
 
 (* CI tripwire: 5k tasks through the full offline sweep plus the online
    drain, under a wall-clock budget the quadratic code cannot meet. *)

@@ -31,6 +31,7 @@ let experiments =
     ("robustness", Extensions_bench.robustness);
     ("micro", Micro.run);
     ("scaling", Scaling.run);
+    ("cluster", Cluster.run);
     ("online", Online.run);
     ("core", Core_scaling.run);
     ("core-smoke", Core_scaling.smoke);

@@ -281,12 +281,8 @@ let run () =
   in
   let non_decreasing_1_to_4 = sweep_rps 4 >= sweep_rps 1 in
   Printf.printf "GATE tcp_sweep_non_decreasing_1_to_4=%b\n" non_decreasing_1_to_4;
-  let oc = open_out "BENCH_runtime.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "{\n  \"experiment\": \"online-runtime\",\n";
-      output_string oc (Provenance.json_fields ());
+  Provenance.write_artifact ~path:"BENCH_runtime.json" ~experiment:"online-runtime"
+    (fun oc ->
       Printf.fprintf oc
         "  \"kernel\": \"hf\",\n  \"traces\": %d,\n  \"capacity_factor\": %g,\n\
         \  \"fast_mode\": %b,\n  \"sweep\": [\n"
@@ -336,6 +332,5 @@ let run () =
         \    \"tcp_concurrent\": { \"clients\": 4, \"requests_per_client\": %d, \
          \"requests_per_s\": %.1f },\n\
         \    \"sweep_non_decreasing_1_to_4\": %b\n\
-        \  }\n}\n"
-        sweep_requests conc_rps non_decreasing_1_to_4);
-  Printf.printf "wrote BENCH_runtime.json\n"
+        \  }\n"
+        sweep_requests conc_rps non_decreasing_1_to_4)

@@ -29,3 +29,18 @@ let json_fields () =
   Printf.sprintf "  \"git_commit\": \"%s\",\n  \"hostname\": \"%s\",\n"
     (json_escape (git_commit ()))
     (json_escape (hostname ()))
+
+(* Every BENCH_*.json artifact goes through here: open the file, emit the
+   opening brace, the experiment name and the stamp, let the experiment
+   write its own fields (without the closing brace), close the object and
+   announce the artifact. *)
+let write_artifact ~path ~experiment body =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"experiment\": \"%s\",\n" (json_escape experiment);
+      output_string oc (json_fields ());
+      body oc;
+      output_string oc "}\n");
+  Printf.printf "wrote %s\n" path

@@ -79,12 +79,7 @@ let run () =
   in
   Printf.printf "GATE best_multi_domain_speedup=%.3f cores=%d\n" best_multi
     recommended;
-  let oc = open_out "BENCH_fleet.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "{\n  \"experiment\": \"fleet-scaling\",\n";
-      output_string oc (Provenance.json_fields ());
+  Provenance.write_artifact ~path:"BENCH_fleet.json" ~experiment:"fleet-scaling" (fun oc ->
       Printf.fprintf oc
         "  \"kernel\": \"%s\",\n\
         \  \"traces\": %d,\n\
@@ -115,5 +110,4 @@ let run () =
             st.Dt_par.Pool.steals
             (if i = List.length runs - 1 then "" else ","))
         runs;
-      output_string oc "  ]\n}\n");
-  Printf.printf "wrote BENCH_fleet.json\n"
+      output_string oc "  ]\n")

@@ -24,9 +24,21 @@ let trace_arg =
     & opt (some file) None
     & info [ "t"; "trace" ] ~docv:"FILE" ~doc:"Trace file (see the gen command).")
 
+(* A capacity factor must be a positive finite multiple of m_c; 0, negative
+   values, nan and inf are cmdliner errors instead of reaching Fleet.run. *)
+let positive_float_conv ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f > 0.0 -> Ok f
+    | Some f -> Error (`Msg (Printf.sprintf "%s must be positive and finite, got %g" what f))
+    | None -> Error (`Msg (Printf.sprintf "expected a number for %s, got %S" what s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
 let factor_arg =
   Arg.(
-    value & opt float 1.5
+    value
+    & opt (positive_float_conv ~what:"the capacity factor") 1.5
     & info [ "c"; "capacity-factor" ] ~docv:"F"
         ~doc:"Memory capacity as a multiple of the trace's minimum requirement $(b,m_c).")
 
@@ -305,6 +317,14 @@ let svg_cmd =
 (* fleet                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Parallel-run health, visible outside the server's STATS verb: shard
+   count plus the pool's job/fallback/steal counters. *)
+let pool_stats_line pool =
+  let stats = Dt_par.Pool.stats pool in
+  Printf.printf "pool: shards=%d jobs=%d fallbacks=%d steals=%d\n"
+    (Dt_par.Pool.num_domains pool)
+    stats.Dt_par.Pool.jobs stats.Dt_par.Pool.fallbacks stats.Dt_par.Pool.steals
+
 let fleet dir prefix factor domains =
   let traces = Dt_trace.Trace.load_set ~dir ~prefix in
   if Array.length traces = 0 then begin
@@ -313,7 +333,7 @@ let fleet dir prefix factor domains =
   end;
   let run_policy pool policy = Dt_trace.Fleet.run ~capacity_factor:factor ?pool policy traces in
   Result.map
-    (fun (submission, portfolio) ->
+    (fun (submission, portfolio, pool_stats) ->
       let row name (o : Dt_trace.Fleet.outcome) =
         [
           name;
@@ -325,11 +345,26 @@ let fleet dir prefix factor domains =
       in
       Dt_report.Table.print
         ~header:[ "policy"; "app makespan"; "mean ratio"; "worst ratio"; "speedup" ]
-        [ row "submission order" submission; row "portfolio" portfolio ])
+        [ row "submission order" submission; row "portfolio" portfolio ];
+      Option.iter (fun print -> print ()) pool_stats)
     (with_optional_pool domains (fun pool ->
-         ( run_policy pool
-             (Dt_trace.Fleet.Fixed (Dt_core.Heuristic.Static Dt_core.Static_rules.OS)),
-           run_policy pool (Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all) )))
+         let submission =
+           run_policy pool
+             (Dt_trace.Fleet.Fixed (Dt_core.Heuristic.Static Dt_core.Static_rules.OS))
+         in
+         let portfolio = run_policy pool (Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all) in
+         (* snapshot the counters before the pool is shut down, print after
+            the table *)
+         ( submission,
+           portfolio,
+           Option.map
+             (fun pool ->
+               let stats = Dt_par.Pool.stats pool in
+               let shards = Dt_par.Pool.num_domains pool in
+               fun () ->
+                 Printf.printf "pool: shards=%d jobs=%d fallbacks=%d steals=%d\n" shards
+                   stats.Dt_par.Pool.jobs stats.Dt_par.Pool.fallbacks stats.Dt_par.Pool.steals)
+             pool )))
 
 let fleet_cmd =
   let dir =
@@ -352,6 +387,180 @@ let fleet_cmd =
   Cmd.v
     (Cmd.info "fleet" ~doc:"Whole-application comparison across all process traces")
     Term.(term_result (const fleet $ dir $ prefix $ factor_arg $ domains))
+
+(* ------------------------------------------------------------------ *)
+(* cluster                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mode_conv =
+  let parse s =
+    match Dt_cluster.Link_sim.mode_of_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown link mode %S (fcfs or ps)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Dt_cluster.Link_sim.mode_name m))
+
+let cluster dir prefix factor domains nodes units links bandwidth node_mem mode =
+  let traces = Dt_trace.Trace.load_set ~dir ~prefix in
+  if Array.length traces = 0 then begin
+    Printf.eprintf "no %s-p*.trace files under %s\n" prefix dir;
+    exit 1
+  end;
+  let max_mc = Array.fold_left (fun a t -> Float.max a (Dt_trace.Trace.min_capacity t)) 0.0 traces in
+  let node_mem =
+    match node_mem with
+    | Some m -> m
+    | None ->
+        (* auto: the memory the resident processes would have had on private
+           machines, floored so the largest single task always fits *)
+        let total_mc =
+          Array.fold_left (fun a t -> a +. Dt_trace.Trace.min_capacity t) 0.0 traces
+        in
+        Float.max (factor *. max_mc) (factor *. total_mc /. float_of_int nodes)
+  in
+  if node_mem < max_mc then
+    Printf.eprintf "warning: node memory %g below the largest m_c %g; expect failures\n"
+      node_mem max_mc;
+  let topo =
+    Dt_cluster.Topology.shared ~nodes ~units_per_node:units ~links_per_node:links ~bandwidth
+      ~node_mem ()
+  in
+  let policy = Dt_trace.Fleet.Portfolio Dt_core.Heuristic.all in
+  match
+    with_optional_pool domains (fun pool ->
+        let run strategy =
+          Dt_cluster.Cluster.run ~capacity_factor:factor ?pool
+            ~config:{ Dt_cluster.Cluster.default_config with mode; strategy }
+            topo policy traces
+        in
+        let greedy = run Dt_cluster.Balancer.Greedy in
+        let diffusive = run Dt_cluster.Balancer.Diffusive in
+        let util (r : Dt_cluster.Link_sim.result) =
+          let u = Dt_cluster.Link_sim.utilisation r in
+          let mean =
+            Array.fold_left (fun a (_, _, x) -> a +. x) 0.0 u
+            /. float_of_int (max 1 (Array.length u))
+          in
+          let worst = Array.fold_left (fun a (_, _, x) -> Float.max a x) 0.0 u in
+          (mean, worst)
+        in
+        let independent = greedy.Dt_cluster.Cluster.independent in
+        let row name (r : Dt_cluster.Link_sim.result) migrations =
+          let mean, worst = util r in
+          [
+            name;
+            Printf.sprintf "%.6g" r.Dt_cluster.Link_sim.makespan;
+            Printf.sprintf "%.2fx"
+              (independent.Dt_cluster.Link_sim.makespan /. r.Dt_cluster.Link_sim.makespan);
+            string_of_int migrations;
+            Printf.sprintf "%.0f%%" (100.0 *. mean);
+            Printf.sprintf "%.0f%%" (100.0 *. worst);
+          ]
+        in
+        Printf.printf
+          "%d traces on %d node%s x %d unit%s (%d link%s/node, bandwidth %g, node memory %g), \
+           %s links\n"
+          (Array.length traces) nodes
+          (if nodes = 1 then "" else "s")
+          units
+          (if units = 1 then "" else "s")
+          links
+          (if links = 1 then "" else "s")
+          bandwidth node_mem
+          (Dt_cluster.Link_sim.mode_name mode);
+        Dt_report.Table.print
+          ~header:
+            [ "scheduling"; "app makespan"; "speedup"; "migrations"; "mean link"; "max link" ]
+          [
+            row "independent" independent 0;
+            row "cooperative greedy" greedy.Dt_cluster.Cluster.cooperative
+              greedy.Dt_cluster.Cluster.migrations;
+            row "cooperative diffusive" diffusive.Dt_cluster.Cluster.cooperative
+              diffusive.Dt_cluster.Cluster.migrations;
+          ];
+        Option.iter pool_stats_line pool)
+  with
+  | Ok () -> Ok ()
+  | Error _ as e -> e
+  | exception Invalid_argument msg -> Error (`Msg msg)
+
+let cluster_cmd =
+  let dir =
+    Arg.(value & opt dir "traces" & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Trace directory.")
+  in
+  let prefix =
+    Arg.(value & opt string "hf" & info [ "p"; "prefix" ] ~docv:"P" ~doc:"Trace prefix.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some domains_conv) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Plan the per-process schedules on a pool of $(docv) domains (0 = \
+             pick automatically).")
+  in
+  let pos_int_conv ~what =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "%s must be >= 1, got %d" what n))
+      | None -> Error (`Msg (Printf.sprintf "expected an integer for %s, got %S" what s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt (pos_int_conv ~what:"the node count") 4
+      & info [ "nodes" ] ~docv:"N" ~doc:"Cluster nodes.")
+  in
+  let units =
+    Arg.(
+      value
+      & opt (pos_int_conv ~what:"the unit count") 2
+      & info [ "units" ] ~docv:"U" ~doc:"Processing units per node.")
+  in
+  let links =
+    Arg.(
+      value
+      & opt (pos_int_conv ~what:"the link count") 1
+      & info [ "links" ] ~docv:"L"
+          ~doc:"Shared links (NICs) per node; units are wired round-robin.")
+  in
+  let bandwidth =
+    Arg.(
+      value
+      & opt (positive_float_conv ~what:"the link bandwidth") 1.0
+      & info [ "bandwidth" ] ~docv:"B"
+          ~doc:"Link bandwidth relative to the paper's private link.")
+  in
+  let node_mem =
+    Arg.(
+      value
+      & opt (some (positive_float_conv ~what:"the node memory")) None
+      & info [ "node-mem" ] ~docv:"M"
+          ~doc:
+            "Shared memory capacity per node (default: the capacity the \
+             resident processes would have had on private machines).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Dt_cluster.Link_sim.Fcfs
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Shared-link contention model: $(b,fcfs) serves one transfer at a \
+             time in request order, $(b,ps) fair-shares the bandwidth among \
+             concurrent transfers.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Cooperative multi-unit scheduling on a shared-link topology (vs independent)")
+    Term.(
+      term_result
+        (const cluster $ dir $ prefix $ factor_arg $ domains $ nodes $ units $ links
+       $ bandwidth $ node_mem $ mode))
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                                *)
@@ -575,5 +784,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; run_cmd; compare_cmd; recommend_cmd; gantt_cmd; svg_cmd; fleet_cmd;
-            workchar_cmd; chem_cmd; serve_cmd; client_cmd;
+            cluster_cmd; workchar_cmd; chem_cmd; serve_cmd; client_cmd;
           ]))

@@ -126,6 +126,21 @@ else
   echo "NOTICE: fleet speedup gate skipped (measured ${speedup}x; >1 requires >=2 cores)"
 fi
 
+echo "== cluster experiment (fast workload) =="
+EXPERIMENTS=cluster DTSCHED_FAST=1 dune exec bench/main.exe
+
+echo "== cooperative-not-worse gate =="
+# On a contended topology cooperative balancing must never lose to
+# independent placement: Cluster.run verifies every balanced plan
+# against the simulator and falls back when the model mispredicts, so a
+# failure here means the verification path itself broke.
+grep -q '"cooperative_not_worse": true' BENCH_cluster.json || {
+  echo "FAIL: cooperative scheduling lost to independent (see BENCH_cluster.json)" >&2
+  exit 1
+}
+best=$(grep -o '"best_speedup": *[0-9.]*' BENCH_cluster.json | grep -o '[0-9.]*$' || echo 1)
+echo "cluster gate OK: cooperative never worse, best speedup ${best}x"
+
 echo "== online experiment (fast workload) =="
 EXPERIMENTS=online DTSCHED_FAST=1 dune exec bench/main.exe
 
@@ -134,5 +149,8 @@ cat BENCH_fleet.json
 
 echo "== BENCH_runtime.json =="
 cat BENCH_runtime.json
+
+echo "== BENCH_cluster.json =="
+cat BENCH_cluster.json
 
 echo "ci.sh: all green"

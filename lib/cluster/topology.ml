@@ -1,0 +1,149 @@
+type link = { bandwidth : float }
+
+type node = {
+  units : int;
+  links : link array;
+  unit_link : int array;
+  mem_capacity : float;
+}
+
+type t = {
+  nodes : node array;
+  unit_node : int array;
+  unit_local : int array;
+  first_unit : int array;
+}
+
+let make nodes =
+  if Array.length nodes = 0 then invalid_arg "Topology.make: no nodes";
+  Array.iteri
+    (fun i n ->
+      if n.units < 1 then
+        invalid_arg (Printf.sprintf "Topology.make: node %d has %d units" i n.units);
+      if Array.length n.links = 0 then
+        invalid_arg (Printf.sprintf "Topology.make: node %d has no links" i);
+      if Array.length n.unit_link <> n.units then
+        invalid_arg
+          (Printf.sprintf "Topology.make: node %d: unit_link length %d <> units %d" i
+             (Array.length n.unit_link) n.units);
+      Array.iter
+        (fun l ->
+          if l < 0 || l >= Array.length n.links then
+            invalid_arg (Printf.sprintf "Topology.make: node %d: unit_link entry %d out of range" i l))
+        n.unit_link;
+      Array.iter
+        (fun { bandwidth } ->
+          if not (Float.is_finite bandwidth) || bandwidth <= 0.0 then
+            invalid_arg (Printf.sprintf "Topology.make: node %d: bandwidth %g" i bandwidth))
+        n.links;
+      if Float.is_nan n.mem_capacity || n.mem_capacity < 0.0 then
+        invalid_arg (Printf.sprintf "Topology.make: node %d: memory capacity %g" i n.mem_capacity))
+    nodes;
+  let total = Array.fold_left (fun acc n -> acc + n.units) 0 nodes in
+  let unit_node = Array.make total 0 in
+  let unit_local = Array.make total 0 in
+  let first_unit = Array.make (Array.length nodes) 0 in
+  let next = ref 0 in
+  Array.iteri
+    (fun i n ->
+      first_unit.(i) <- !next;
+      for u = 0 to n.units - 1 do
+        unit_node.(!next) <- i;
+        unit_local.(!next) <- u;
+        incr next
+      done)
+    nodes;
+  { nodes; unit_node; unit_local; first_unit }
+
+let total_units t = Array.length t.unit_node
+let total_links t = Array.fold_left (fun acc n -> acc + Array.length n.links) 0 t.nodes
+
+let unit_id t ~node ~unit_ =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Topology.unit_id: node %d" node);
+  if unit_ < 0 || unit_ >= t.nodes.(node).units then
+    invalid_arg (Printf.sprintf "Topology.unit_id: unit %d on node %d" unit_ node);
+  t.first_unit.(node) + unit_
+
+let link_of_unit t u =
+  let n = t.unit_node.(u) in
+  (n, t.nodes.(n).unit_link.(t.unit_local.(u)))
+
+let link_bandwidth t ~node ~link = t.nodes.(node).links.(link).bandwidth
+let node_mem t n = t.nodes.(n).mem_capacity
+
+let private_ ~capacities =
+  if Array.length capacities = 0 then invalid_arg "Topology.private_: no processes";
+  make
+    (Array.map
+       (fun cap ->
+         {
+           units = 1;
+           links = [| { bandwidth = 1.0 } |];
+           unit_link = [| 0 |];
+           mem_capacity = cap;
+         })
+       capacities)
+
+let shared ~nodes ~units_per_node ?(links_per_node = 1) ?(bandwidth = 1.0) ~node_mem () =
+  if nodes < 1 then invalid_arg "Topology.shared: nodes < 1";
+  if units_per_node < 1 then invalid_arg "Topology.shared: units_per_node < 1";
+  if links_per_node < 1 then invalid_arg "Topology.shared: links_per_node < 1";
+  make
+    (Array.init nodes (fun _ ->
+         {
+           units = units_per_node;
+           links = Array.init links_per_node (fun _ -> { bandwidth });
+           unit_link = Array.init units_per_node (fun u -> u mod links_per_node);
+           mem_capacity = node_mem;
+         }))
+
+let block_placement t n =
+  if n < 0 then invalid_arg "Topology.block_placement: negative process count";
+  let units = total_units t in
+  let per_unit = (n + units - 1) / units in
+  Array.init n (fun p -> min (units - 1) (if per_unit = 0 then 0 else p / per_unit))
+
+let round_robin_placement t n =
+  if n < 0 then invalid_arg "Topology.round_robin_placement: negative process count";
+  let units = total_units t in
+  Array.init n (fun p -> p mod units)
+
+let validate_placement t placement =
+  let units = total_units t in
+  Array.iteri
+    (fun p u ->
+      if u < 0 || u >= units then
+        invalid_arg
+          (Printf.sprintf "Topology: placement maps process %d to unit %d (of %d)" p u units))
+    placement
+
+let link_groups t ~placement =
+  validate_placement t placement;
+  let groups = Hashtbl.create 16 in
+  Array.iteri
+    (fun p u ->
+      let key = link_of_unit t u in
+      Hashtbl.replace groups key (p :: (Option.value ~default:[] (Hashtbl.find_opt groups key))))
+    placement;
+  let all = ref [] in
+  for n = Array.length t.nodes - 1 downto 0 do
+    for l = Array.length t.nodes.(n).links - 1 downto 0 do
+      let members = Option.value ~default:[] (Hashtbl.find_opt groups (n, l)) in
+      all := ((n, l), List.rev members) :: !all
+    done
+  done;
+  !all
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i n ->
+      Format.fprintf ppf "node %d: %d units over %d link%s (bw %s), mem %g@," i n.units
+        (Array.length n.links)
+        (if Array.length n.links = 1 then "" else "s")
+        (String.concat "/"
+           (Array.to_list (Array.map (fun l -> Printf.sprintf "%g" l.bandwidth) n.links)))
+        n.mem_capacity)
+    t.nodes;
+  Format.fprintf ppf "@]"

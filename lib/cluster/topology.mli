@@ -1,0 +1,87 @@
+(** Cluster topologies: the machine model generalised from one process
+    per private (P, link, M) triple to nodes with several processing
+    units, one or more shared links of finite bandwidth, and a shared
+    memory capacity per node.
+
+    A {e unit} is a processing core executing computations sequentially.
+    Every unit is wired to exactly one of its node's links: transfers of
+    the processes placed on the unit go over that link and contend with
+    every other transfer on it. Memory is node-wide: a task holds its
+    requirement against the node's capacity from communication start to
+    computation end, whichever unit runs it.
+
+    Placements follow the explicit transfer-group idiom: a placement is
+    a plain [process -> global unit] array, and {!link_groups} exposes
+    the resulting [link -> member processes] map, the cluster-level
+    analogue of a src/dst shard -> rank-group table. *)
+
+type link = { bandwidth : float (** relative to the paper's private link; > 0 *) }
+
+type node = {
+  units : int;            (** processing units on the node, >= 1 *)
+  links : link array;     (** shared NICs, at least one *)
+  unit_link : int array;  (** local unit -> index into [links] *)
+  mem_capacity : float;   (** node-wide memory shared by all units, >= 0 *)
+}
+
+type t = private {
+  nodes : node array;
+  unit_node : int array;       (** global unit -> node id *)
+  unit_local : int array;      (** global unit -> local unit on that node *)
+  first_unit : int array;      (** node id -> global id of its first unit *)
+}
+
+val make : node array -> t
+(** Validates the nodes (at least one node, every node at least one unit
+    and one link, [unit_link] of length [units] with in-range entries,
+    positive finite bandwidths, non-negative memory) and assigns global
+    unit ids in node order. Raises [Invalid_argument] on violation. *)
+
+val total_units : t -> int
+val total_links : t -> int
+
+val unit_id : t -> node:int -> unit_:int -> int
+(** Global id of a node's local unit. *)
+
+val link_of_unit : t -> int -> int * int
+(** [(node, link index within the node)] serving a global unit. *)
+
+val link_bandwidth : t -> node:int -> link:int -> float
+val node_mem : t -> int -> float
+
+val private_ : capacities:float array -> t
+(** The degenerate topology of the paper: one node per process with a
+    single unit, a private full-speed link (bandwidth 1.0) and the
+    process's own memory capacity. Scheduling on it is exactly the
+    independent per-process model of [Fleet.run]. *)
+
+val shared :
+  nodes:int ->
+  units_per_node:int ->
+  ?links_per_node:int ->
+  ?bandwidth:float ->
+  node_mem:float ->
+  unit ->
+  t
+(** A uniform contended topology: [nodes] identical nodes, each with
+    [units_per_node] units spread round-robin over [links_per_node]
+    links (default 1) of the given [bandwidth] (default 1.0), sharing
+    [node_mem] memory. *)
+
+val block_placement : t -> int -> int array
+(** [block_placement topo n] places [n] processes in contiguous blocks:
+    unit [u] gets processes [u*ceil(n/units) ..]. The deployment-order
+    default a non-cooperative launcher would produce. *)
+
+val round_robin_placement : t -> int -> int array
+
+val validate_placement : t -> int array -> unit
+(** Raises [Invalid_argument] when a placement maps a process outside
+    [0 .. total_units - 1]. *)
+
+val link_groups : t -> placement:int array -> ((int * int) * int list) list
+(** For every link [(node, link)], the processes whose transfers use it
+    (ascending), links in node order. Links with no member are included
+    with an empty group. *)
+
+val pp : Format.formatter -> t -> unit

@@ -18,14 +18,37 @@ type outcome = {
   worst_ratio : float;
 }
 
-let run_process ~capacity_factor policy trace =
+type trace_summary = {
+  summary_name : string;
+  tasks : int;
+  comm_volume : float;
+  comp_volume : float;
+  mem_peak : float;
+  mem_volume : float;
+}
+
+let summarize trace =
+  let fold f init = List.fold_left f init trace.Trace.tasks in
+  {
+    summary_name = trace.Trace.name;
+    tasks = List.length trace.Trace.tasks;
+    comm_volume = fold (fun acc (t : Dt_core.Task.t) -> acc +. t.Dt_core.Task.comm) 0.0;
+    comp_volume = fold (fun acc (t : Dt_core.Task.t) -> acc +. t.Dt_core.Task.comp) 0.0;
+    mem_peak = fold (fun acc (t : Dt_core.Task.t) -> Float.max acc t.Dt_core.Task.mem) 0.0;
+    mem_volume = fold (fun acc (t : Dt_core.Task.t) -> acc +. t.Dt_core.Task.mem) 0.0;
+  }
+
+let summarize_set traces = Array.map summarize traces
+
+let schedule_process ~capacity_factor policy trace =
   let m_c = Trace.min_capacity trace in
   let instance = Trace.to_instance trace ~capacity:(m_c *. capacity_factor) in
-  let chosen, sched =
-    match policy with
-    | Fixed h -> (h, Dt_core.Heuristic.run h instance)
-    | Portfolio candidates -> Dt_core.Auto.select ~candidates instance
-  in
+  match policy with
+  | Fixed h -> (h, Dt_core.Heuristic.run h instance)
+  | Portfolio candidates -> Dt_core.Auto.select ~candidates instance
+
+let run_process ~capacity_factor policy trace =
+  let chosen, sched = schedule_process ~capacity_factor policy trace in
   let omim = Dt_core.Johnson.omim trace.Trace.tasks in
   let makespan = Dt_core.Schedule.makespan sched in
   {

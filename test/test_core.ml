@@ -24,4 +24,5 @@ let () =
       ("dag", Test_dag.suite);
       ("par", Test_par.suite);
       ("runtime", Test_runtime.suite);
+      ("cluster", Test_cluster.suite);
     ]
