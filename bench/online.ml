@@ -95,7 +95,7 @@ let tcp_throughput ~requests =
       ignore
         (Dt_runtime.Client.request conn
            (Dt_runtime.Protocol.Init
-              { capacity = 1000.0; policy = List.hd Engine.all_policies; queue_limit = Some 1000000 }));
+              { capacity = 1000.0; policy = List.hd Engine.all_policies; queue_limit = Some 1000000; binary = false }));
       let latencies = Array.make requests 0.0 in
       let t0 = Unix.gettimeofday () in
       for i = 0 to requests - 1 do
@@ -122,8 +122,12 @@ let tcp_throughput ~requests =
    between in-process load generators, which is what made the old
    domain-based variant report *less* aggregate throughput at 4 clients
    than at 1. Must run before this process spawns any domain (fork and
-   live domains don't mix); Online.run orders its parts accordingly. *)
-let tcp_client_sweep ~clients ~requests =
+   live domains don't mix); Online.run orders its parts accordingly.
+   [binary] negotiates the length-prefixed framing at INIT; [pipeline]
+   keeps that many SUBMITs in flight per window (in binary mode one
+   window is one frame, i.e. one engine pass on the server). Each
+   request is charged its window's round trip. *)
+let tcp_client_sweep ?(binary = false) ?(pipeline = 1) ~clients ~requests () =
   (* inherited channel buffers would be flushed once per child *)
   flush stdout;
   flush stderr;
@@ -154,22 +158,41 @@ let tcp_client_sweep ~clients ~requests =
                      capacity = 1000.0;
                      policy = List.hd Engine.all_policies;
                      queue_limit = Some 1000000;
+                     binary;
                    }));
+           let submits =
+             List.init requests (fun k ->
+                 Dt_runtime.Protocol.Submit
+                   {
+                     label = Printf.sprintf "c%d-%d" i k;
+                     comm = 1.5;
+                     comp = 0.5;
+                     mem = 1.5;
+                     arrival = Float.of_int k;
+                   })
+           in
            let latencies = Array.make requests 0.0 in
-           for k = 0 to requests - 1 do
-             let s0 = Unix.gettimeofday () in
-             ignore
-               (Dt_runtime.Client.request conn
-                  (Dt_runtime.Protocol.Submit
-                     {
-                       label = Printf.sprintf "c%d-%d" i k;
-                       comm = 1.5;
-                       comp = 0.5;
-                       mem = 1.5;
-                       arrival = Float.of_int k;
-                     }));
-             latencies.(k) <- Unix.gettimeofday () -. s0
-           done;
+           let filled = ref 0 in
+           let rec take k acc = function
+             | rest when k = 0 -> (List.rev acc, rest)
+             | [] -> (List.rev acc, [])
+             | x :: tl -> take (k - 1) (x :: acc) tl
+           in
+           let rec windows = function
+             | [] -> ()
+             | pending ->
+                 let window, rest = take pipeline [] pending in
+                 let s0 = Unix.gettimeofday () in
+                 ignore (Dt_runtime.Client.request_pipelined conn window);
+                 let dt = Unix.gettimeofday () -. s0 in
+                 List.iter
+                   (fun _ ->
+                     latencies.(!filled) <- dt;
+                     incr filled)
+                   window;
+                 windows rest
+           in
+           windows submits;
            ignore (Dt_runtime.Client.request conn Dt_runtime.Protocol.Drain);
            Dt_runtime.Client.close conn;
            Array.sort Float.compare latencies;
@@ -217,6 +240,116 @@ let tcp_client_sweep ~clients ~requests =
   let p99 = List.fold_left (fun a (_, p) -> Float.max a p) 0.0 percentiles in
   (rps, p50, p99)
 
+(* C10K-style idle-population point: hold [connections] simultaneously
+   open, silent connections against an epoll-backed server (forked, so
+   this too can run before the parent spawns any domain) and, while they
+   are all held open, run one more live session through INIT/SUBMIT/
+   DRAIN plus a STATS probe on the very first idle socket. The fd
+   *numbers* involved run far past FD_SETSIZE, so a select-backed server
+   could not even represent this population — Server.run refuses
+   max_conns this large on select. Returns [None] where epoll is
+   unavailable (non-Linux hosts: the point is skipped, not faked). *)
+let c10k_idle ~connections =
+  if not Dt_runtime.Poller.epoll_available then None
+  else begin
+    flush stdout;
+    flush stderr;
+    let server = Dt_runtime.Server.create ~port:0 () in
+    let port = Dt_runtime.Server.port server in
+    let server_pid =
+      match Unix.fork () with
+      | 0 ->
+          (try
+             Dt_runtime.Server.run ~backend:`Epoll ~max_conns:(connections + 64)
+               server
+           with _ -> ());
+          exit 0
+      | pid -> pid
+    in
+    let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+    let idle = ref [] in
+    let result =
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            !idle;
+          (match Dt_runtime.Client.connect ~port () with
+          | conn ->
+              (try
+                 ignore
+                   (Dt_runtime.Client.request conn Dt_runtime.Protocol.Shutdown)
+               with Failure _ -> ());
+              Dt_runtime.Client.close conn
+          | exception Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] server_pid))
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to connections do
+            let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+            (try Unix.connect fd addr
+             with e ->
+               Unix.close fd;
+               raise e);
+            idle := fd :: !idle
+          done;
+          let established_s = Unix.gettimeofday () -. t0 in
+          (* a live session through the held-open population *)
+          let conn = Dt_runtime.Client.connect ~port () in
+          let ok line = String.length line >= 2 && String.sub line 0 2 = "OK" in
+          let round_trip_ok =
+            Fun.protect
+              ~finally:(fun () -> Dt_runtime.Client.close conn)
+              (fun () ->
+                let init =
+                  Dt_runtime.Client.request conn
+                    (Dt_runtime.Protocol.Init
+                       {
+                         capacity = 10.0;
+                         policy = List.hd Engine.all_policies;
+                         queue_limit = None;
+                         binary = false;
+                       })
+                in
+                let submit =
+                  Dt_runtime.Client.request conn
+                    (Dt_runtime.Protocol.Submit
+                       {
+                         label = "probe";
+                         comm = 1.0;
+                         comp = 0.5;
+                         mem = 1.0;
+                         arrival = 0.0;
+                       })
+                in
+                let drain =
+                  Dt_runtime.Client.request conn Dt_runtime.Protocol.Drain
+                in
+                List.for_all
+                  (function line :: _ -> ok line | [] -> false)
+                  [ init; submit; drain ])
+          in
+          (* one of the idle sockets answers too: they are served, not
+             merely parked in an accept queue *)
+          let probe_fd = List.nth !idle (connections - 1) in
+          let stats_ok =
+            try
+              let n =
+                Unix.write_substring probe_fd "STATS\n" 0 6
+              in
+              if n <> 6 then false
+              else begin
+                let buf = Bytes.create 256 in
+                let got = Unix.read probe_fd buf 0 256 in
+                got >= 2 && Bytes.sub_string buf 0 2 = "OK"
+              end
+            with Unix.Unix_error _ -> false
+          in
+          Some (established_s, round_trip_ok && stats_ok))
+    in
+    result
+  end
+
 let run () =
   Printf.printf "\n== online: arrival-aware engine vs clairvoyant offline ==\n\n";
   let traces = Lazy.force Data.hf_traces in
@@ -245,16 +378,35 @@ let run () =
      mean comm time / arrival spacing; load inf = every task at 0, which the \
      tests pin to the offline schedule bit for bit)\n"
     (Array.length traces) factor;
-  (* the forked client sweep must run before tcp_throughput spawns the
-     first domain of this process (fork + live domains don't mix) *)
+  (* the forked benches must run before tcp_throughput spawns the first
+     domain of this process (fork + live domains don't mix) *)
   let sweep_clients = [ 1; 2; 4; 8 ] in
   let sweep_requests = if Data.fast then 400 else 2500 in
   let client_sweep =
     List.map
       (fun clients ->
-        (clients, tcp_client_sweep ~clients ~requests:sweep_requests))
+        (clients, tcp_client_sweep ~clients ~requests:sweep_requests ()))
       sweep_clients
   in
+  (* connections x framing/pipelining: the same conn count served once
+     as single-request text clients, once as binary clients with 16
+     SUBMITs in flight per frame *)
+  let mode_levels = [ 1; 4; 16 ] in
+  let pipeline_depth = 16 in
+  let mode_sweep =
+    List.concat_map
+      (fun clients ->
+        [
+          ( (clients, false, 1),
+            tcp_client_sweep ~clients ~requests:sweep_requests () );
+          ( (clients, true, pipeline_depth),
+            tcp_client_sweep ~binary:true ~pipeline:pipeline_depth ~clients
+              ~requests:sweep_requests () );
+        ])
+      mode_levels
+  in
+  let c10k_connections = 2048 in
+  let c10k = c10k_idle ~connections:c10k_connections in
   let requests = if Data.fast then 2000 else 20000 in
   let inproc_rps, inproc_p50, inproc_p99 = session_throughput ~requests in
   Printf.printf
@@ -274,6 +426,25 @@ let run () =
         (if clients = 1 then " " else "s")
         rps (1e6 *. p99) sweep_requests)
     client_sweep;
+  List.iter
+    (fun ((clients, binary, pipeline), (rps, _, p99)) ->
+      Printf.printf
+        "service loop, TCP %2d client%s %s pipeline=%-2d: %.0f req/s aggregate \
+         (worst p99 %.1f us)\n"
+        clients
+        (if clients = 1 then " " else "s")
+        (if binary then "binary" else "text  ")
+        pipeline rps (1e6 *. p99))
+    mode_sweep;
+  (match c10k with
+  | Some (established_s, served) ->
+      Printf.printf
+        "C10K idle population: %d concurrent idle connections on epoll, \
+         established in %.2f s, live session served: %b\n"
+        c10k_connections established_s served
+  | None ->
+      Printf.printf
+        "C10K idle population: skipped (epoll unavailable on this host)\n");
   let sweep_rps clients =
     match List.assoc_opt clients client_sweep with
     | Some (rps, _, _) -> rps
@@ -281,6 +452,23 @@ let run () =
   in
   let non_decreasing_1_to_4 = sweep_rps 4 >= sweep_rps 1 in
   Printf.printf "GATE tcp_sweep_non_decreasing_1_to_4=%b\n" non_decreasing_1_to_4;
+  (* at every conn count, binary+pipelined must strictly beat the
+     single-request text baseline (the point of the framing) *)
+  let mode_rps clients binary pipeline =
+    match List.assoc_opt (clients, binary, pipeline) mode_sweep with
+    | Some (rps, _, _) -> rps
+    | None -> 0.0
+  in
+  let pipelined_binary_beats_text =
+    List.for_all
+      (fun clients ->
+        mode_rps clients true pipeline_depth > mode_rps clients false 1)
+      mode_levels
+  in
+  Printf.printf "GATE pipelined_binary_beats_text=%b\n" pipelined_binary_beats_text;
+  (match c10k with
+  | Some (_, served) -> Printf.printf "GATE c10k_idle_served=%b\n" served
+  | None -> ());
   Provenance.write_artifact ~path:"BENCH_runtime.json" ~experiment:"online-runtime"
     (fun oc ->
       Printf.fprintf oc
@@ -331,6 +519,32 @@ let run () =
         "    ],\n\
         \    \"tcp_concurrent\": { \"clients\": 4, \"requests_per_client\": %d, \
          \"requests_per_s\": %.1f },\n\
-        \    \"sweep_non_decreasing_1_to_4\": %b\n\
-        \  }\n"
-        sweep_requests conc_rps non_decreasing_1_to_4)
+        \    \"sweep_non_decreasing_1_to_4\": %b,\n\
+        \    \"mode_sweep\": [\n"
+        sweep_requests conc_rps non_decreasing_1_to_4;
+      let n_modes = List.length mode_sweep in
+      List.iteri
+        (fun i ((clients, binary, pipeline), (rps, p50, p99)) ->
+          Printf.fprintf oc
+            "      { \"clients\": %d, \"mode\": \"%s\", \"pipeline\": %d, \
+             \"requests_per_client\": %d, \"requests_per_s\": %.1f, \
+             \"worst_p50_latency_us\": %.2f, \"worst_p99_latency_us\": %.2f }%s\n"
+            clients
+            (if binary then "binary" else "text")
+            pipeline sweep_requests rps (1e6 *. p50) (1e6 *. p99)
+            (if i = n_modes - 1 then "" else ","))
+        mode_sweep;
+      Printf.fprintf oc
+        "    ],\n\
+        \    \"pipelined_binary_beats_text\": %b,\n"
+        pipelined_binary_beats_text;
+      (match c10k with
+      | Some (established_s, served) ->
+          Printf.fprintf oc
+            "    \"c10k\": { \"connections\": %d, \"backend\": \"epoll\", \
+             \"established_s\": %.3f, \"served\": %b }\n"
+            c10k_connections established_s served
+      | None ->
+          Printf.fprintf oc
+            "    \"c10k\": { \"skipped\": \"epoll unavailable\" }\n");
+      Printf.fprintf oc "  }\n")

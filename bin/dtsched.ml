@@ -566,27 +566,56 @@ let cluster_cmd =
 (* serve                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let serve host port port_file stdio domains max_conns idle_timeout =
+let serve host port port_file stdio domains backend max_conns max_output_bytes
+    idle_timeout =
   if stdio then Ok (Dt_runtime.Server.serve_stdio ())
-  else if max_conns < 1 then Error (`Msg "--max-conns must be positive")
-  else if Float.is_nan idle_timeout || idle_timeout < 0.0 then
-    Error (`Msg "--idle-timeout must be non-negative (0 disables it)")
+  else if backend = `Epoll && not Dt_runtime.Poller.epoll_available then
+    Error (`Msg "--backend epoll: epoll is unavailable on this platform")
   else
-    match Dt_runtime.Server.create ~host ~port () with
-    | exception Unix.Unix_error (e, _, _) ->
-        Error (`Msg (Printf.sprintf "cannot listen on %s:%d: %s" host port (Unix.error_message e)))
-    | server ->
-        let on_listen bound =
-          Printf.printf "dtsched: listening on %s:%d\n%!" host bound;
-          match port_file with
-          | None -> ()
-          | Some path ->
-              let oc = open_out path in
-              Printf.fprintf oc "%d\n" bound;
-              close_out oc
-        in
-        with_optional_pool domains (fun pool ->
-            Dt_runtime.Server.run ?pool ~max_conns ~idle_timeout ~on_listen server)
+    let uses_epoll =
+      match backend with
+      | `Epoll -> true
+      | `Select -> false
+      | `Auto -> Dt_runtime.Poller.epoll_available
+    in
+    (* epoll has no fd-number ceiling, so it earns a C10K-scale default;
+       select must keep every fd number under FD_SETSIZE *)
+    let max_conns =
+      match max_conns with Some n -> n | None -> if uses_epoll then 4096 else 512
+    in
+    if max_conns < 1 then Error (`Msg "--max-conns must be positive")
+    else if (not uses_epoll) && max_conns > Dt_runtime.Server.select_conn_limit
+    then
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--max-conns %d exceeds the select backend's limit of %d \
+               (FD_SETSIZE %d): use --backend epoll"
+              max_conns Dt_runtime.Server.select_conn_limit
+              Dt_runtime.Poller.select_fd_limit))
+    else if max_output_bytes < 1 then
+      Error (`Msg "--max-output-bytes must be positive")
+    else if Float.is_nan idle_timeout || idle_timeout < 0.0 then
+      Error (`Msg "--idle-timeout must be non-negative (0 disables it)")
+    else
+      match Dt_runtime.Server.create ~host ~port () with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (`Msg (Printf.sprintf "cannot listen on %s:%d: %s" host port (Unix.error_message e)))
+      | server ->
+          let on_listen bound =
+            Printf.printf "dtsched: listening on %s:%d (%s backend)\n%!" host
+              bound
+              (if uses_epoll then "epoll" else "select");
+            match port_file with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                Printf.fprintf oc "%d\n" bound;
+                close_out oc
+          in
+          with_optional_pool domains (fun pool ->
+              Dt_runtime.Server.run ?pool ~backend ~max_conns ~max_output_bytes
+                ~idle_timeout ~on_listen server)
 
 let serve_cmd =
   let host =
@@ -624,13 +653,52 @@ let serve_cmd =
              requests are processed on the event loop itself; connections \
              are multiplexed and never block each other's reads either way.")
   in
+  let backend =
+    let backend_conv =
+      let parse = function
+        | "auto" -> Ok `Auto
+        | "epoll" -> Ok `Epoll
+        | "select" -> Ok `Select
+        | s -> Error (`Msg (Printf.sprintf "unknown backend %S (auto/epoll/select)" s))
+      in
+      let print ppf k =
+        Format.pp_print_string ppf
+          (match k with `Auto -> "auto" | `Epoll -> "epoll" | `Select -> "select")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt backend_conv `Auto
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:
+            "Readiness backend for the event loop: $(b,epoll) (Linux; no \
+             connection-count ceiling), $(b,select) (portable; every fd \
+             number must stay under FD_SETSIZE), or $(b,auto) (epoll when \
+             available). $(b,STATS) reports the backend in use.")
+  in
   let max_conns =
     Arg.(
-      value & opt int 512
+      value
+      & opt (some int) None
       & info [ "max-conns" ] ~docv:"N"
           ~doc:
             "Serve at most $(docv) simultaneous connections; beyond the limit \
-             a connection is answered one $(b,ERR busy) line and closed.")
+             a connection is answered one $(b,ERR busy) line and closed. \
+             Defaults to 4096 on the epoll backend and 512 on select; values \
+             over the select backend's FD_SETSIZE-derived ceiling are \
+             rejected.")
+  in
+  let max_output_bytes =
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "max-output-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Bound one connection's pending (unread) output at $(docv) bytes: \
+             reads from the peer pause once half the bound is pending, the \
+             connection is dropped once the full bound is passed — output \
+             nobody drains must not grow without limit.")
   in
   let idle_timeout =
     Arg.(
@@ -645,7 +713,8 @@ let serve_cmd =
        ~doc:"Online scheduling service (newline-delimited protocol over TCP or stdio)")
     Term.(
       term_result
-        (const serve $ host $ port $ port_file $ stdio $ domains $ max_conns $ idle_timeout))
+        (const serve $ host $ port $ port_file $ stdio $ domains $ backend
+       $ max_conns $ max_output_bytes $ idle_timeout))
 
 (* ------------------------------------------------------------------ *)
 (* client                                                               *)
@@ -660,7 +729,9 @@ let policy_conv =
   let print ppf p = Format.pp_print_string ppf (Dt_runtime.Engine.policy_name p) in
   Arg.conv (parse, print)
 
-let client host port trace_path rate policy factor =
+let client host port trace_path rate policy factor binary pipeline =
+  if pipeline < 1 then Error (`Msg "--pipeline must be positive")
+  else
   match
     match Dt_runtime.Client.connect ~host ~port () with
     | conn -> Ok conn
@@ -677,11 +748,16 @@ let client host port trace_path rate policy factor =
               (* load-generator mode: replay the trace at the given rate *)
               let trace = Dt_trace.Trace.load path in
               let r =
-                Dt_runtime.Client.replay conn ~trace ~rate ~policy ~capacity_factor:factor ()
+                Dt_runtime.Client.replay conn ~trace ~rate ~policy
+                  ~capacity_factor:factor ~binary ~pipeline ()
               in
-              Printf.printf "trace %s: %d tasks replayed at rate %g (policy %s)\n"
+              Printf.printf
+                "trace %s: %d tasks replayed at rate %g (policy %s, %s mode, \
+                 pipeline %d)\n"
                 trace.Dt_trace.Trace.name r.Dt_runtime.Client.submitted rate
-                (Dt_runtime.Engine.policy_name policy);
+                (Dt_runtime.Engine.policy_name policy)
+                (if binary then "binary" else "text")
+                pipeline;
               Printf.printf "  accepted %d, rejected %d\n" r.Dt_runtime.Client.accepted
                 r.Dt_runtime.Client.rejected;
               Printf.printf "  online makespan  %.6g\n" r.Dt_runtime.Client.makespan;
@@ -742,9 +818,30 @@ let client_cmd =
       & info [ "H"; "policy" ] ~docv:"NAME"
           ~doc:"Online policy: LCMR, SCMR, MAMR, OOLCMR, OOSCMR or OOMAMR.")
   in
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:
+            "Replay in the length-prefixed binary framing (negotiated at \
+             $(b,INIT); the text protocol stays the default). Interactive \
+             mode switches by typing an $(b,INIT ... binary) line instead.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"K"
+          ~doc:
+            "Keep $(docv) submissions in flight per window during a replay; \
+             with $(b,--binary) a window travels as one frame and the server \
+             runs it as a single engine pass.")
+  in
   Cmd.v
     (Cmd.info "client" ~doc:"Scheduling-service client and trace-replay load generator")
-    Term.(term_result (const client $ host $ port $ trace $ rate $ policy $ factor_arg))
+    Term.(
+      term_result
+        (const client $ host $ port $ trace $ rate $ policy $ factor_arg
+       $ binary $ pipeline))
 
 (* ------------------------------------------------------------------ *)
 (* chem                                                                 *)

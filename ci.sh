@@ -144,6 +144,32 @@ echo "cluster gate OK: cooperative never worse, best speedup ${best}x"
 echo "== online experiment (fast workload) =="
 EXPERIMENTS=online DTSCHED_FAST=1 dune exec bench/main.exe
 
+echo "== C10K idle-connections gate =="
+# On the epoll backend the server must sustain >= 2048 concurrent idle
+# connections while still serving live sessions — fd numbers far past
+# FD_SETSIZE, which the select fallback cannot even represent. Where
+# epoll is unavailable (non-Linux) the bench records a skip, and the
+# gate is skipped with a notice instead of silently passing.
+if grep -q '"c10k": *{ *"skipped"' BENCH_runtime.json; then
+  echo "NOTICE: epoll unavailable on this host; C10K gate skipped"
+else
+  grep -q '"c10k": *{ *"connections": 2048, "backend": "epoll", "established_s": [0-9.]*, "served": true *}' BENCH_runtime.json || {
+    echo "FAIL: epoll server did not sustain 2048 concurrent idle connections (see BENCH_runtime.json)" >&2
+    exit 1
+  }
+  echo "C10K gate OK: 2048 concurrent idle connections served on epoll"
+fi
+
+echo "== binary pipelining gate =="
+# At every connection count of the mode sweep, binary framing with 16
+# pipelined SUBMITs per frame must beat single-request text clients —
+# the whole point of the length-prefixed codec and frame batching.
+grep -q '"pipelined_binary_beats_text": true' BENCH_runtime.json || {
+  echo "FAIL: binary+pipelined throughput did not beat unpipelined text (see BENCH_runtime.json)" >&2
+  exit 1
+}
+echo "pipelining gate OK: binary+pipelined beats text unpipelined at every conn count"
+
 echo "== BENCH_fleet.json =="
 cat BENCH_fleet.json
 

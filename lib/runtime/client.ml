@@ -4,6 +4,7 @@ type connection = {
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
+  mutable binary : bool; (* negotiated by a sent [INIT ... binary] *)
 }
 
 let connect ?(host = "127.0.0.1") ~port () =
@@ -14,7 +15,12 @@ let connect ?(host = "127.0.0.1") ~port () =
    with e ->
      Unix.close fd;
      raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    binary = false;
+  }
 
 let close conn =
   (try close_out conn.oc with Sys_error _ -> ());
@@ -56,18 +62,87 @@ let framed_request = function
   | Protocol.Poll | Protocol.Entries -> true
   | _ -> false
 
+(* One binary response frame = one request's complete response: no
+   announced-count parsing, the frame boundary is the response
+   boundary. *)
+let read_frame conn =
+  let header = Bytes.create 4 in
+  (try really_input conn.ic header 0 4
+   with End_of_file -> failwith "Client: server closed the connection");
+  let len =
+    (Char.code (Bytes.get header 0) lsl 24)
+    lor (Char.code (Bytes.get header 1) lsl 16)
+    lor (Char.code (Bytes.get header 2) lsl 8)
+    lor Char.code (Bytes.get header 3)
+  in
+  if len > Protocol.max_frame_bytes then
+    failwith (Printf.sprintf "Client: response frame of %d bytes exceeds bound" len);
+  let payload = Bytes.create len in
+  (try really_input conn.ic payload 0 len
+   with End_of_file -> failwith "Client: server closed the connection mid-frame");
+  match Protocol.decode_responses (Bytes.unsafe_to_string payload) with
+  | Ok lines -> lines
+  | Error msg -> failwith ("Client: malformed response frame: " ^ msg)
+
+let send_frame conn requests =
+  output_string conn.oc (Protocol.encode_request_frame requests);
+  flush conn.oc
+
 let request conn req =
-  send conn (Protocol.render_request req);
-  read_response conn ~framed:(framed_request req)
+  match req with
+  | Protocol.Init { binary = true; _ } when not conn.binary ->
+      (* negotiation: the INIT travels as text, its response is already
+         a binary frame *)
+      send conn (Protocol.render_request req);
+      conn.binary <- true;
+      read_frame conn
+  | _ ->
+      if conn.binary then begin
+        send_frame conn [ req ];
+        read_frame conn
+      end
+      else begin
+        send conn (Protocol.render_request req);
+        read_response conn ~framed:(framed_request req)
+      end
 
 let request_line conn line =
-  send conn line;
-  let framed =
+  if conn.binary then
+    (* the raw line cannot travel on a binary connection; re-encode it *)
     match Protocol.parse_request line with
-    | Ok req -> framed_request req
-    | Error _ -> false
-  in
-  read_response conn ~framed
+    | Error msg -> [ Protocol.err ~code:"parse" msg ]
+    | Ok req ->
+        send_frame conn [ req ];
+        read_frame conn
+  else if Protocol.switches_to_binary line then begin
+    send conn line;
+    conn.binary <- true;
+    read_frame conn
+  end
+  else begin
+    send conn line;
+    let framed =
+      match Protocol.parse_request line with
+      | Ok req -> framed_request req
+      | Error _ -> false
+    in
+    read_response conn ~framed
+  end
+
+let request_pipelined conn requests =
+  if conn.binary then begin
+    (* the whole window in one frame: the server decodes it into a
+       single engine pass; one response frame comes back per request *)
+    send_frame conn requests;
+    List.map (fun _ -> read_frame conn) requests
+  end
+  else begin
+    List.iter
+      (fun req -> output_string conn.oc (Protocol.render_request req ^ "\n"))
+      requests;
+    flush conn.oc;
+    List.map (fun req -> read_response conn ~framed:(framed_request req)) requests
+  end
 
 let response_field key line =
   String.split_on_char ' ' line
@@ -99,19 +174,22 @@ let expect_ok what = function
   | [] -> failwith (Printf.sprintf "Client: %s: empty response" what)
 
 let replay conn ~trace ~rate ?(policy = Engine.Corrected Corrected_rules.OOSCMR)
-    ?(capacity_factor = 1.5) () =
+    ?(capacity_factor = 1.5) ?(binary = false) ?(pipeline = 1) () =
+  if pipeline < 1 then invalid_arg "Client.replay: pipeline must be >= 1";
   let capacity = Dt_trace.Trace.min_capacity trace *. capacity_factor in
   let tasks = trace.Dt_trace.Trace.tasks in
   let t0 = Unix.gettimeofday () in
   ignore
     (expect_ok "INIT"
-       (request conn (Protocol.Init { capacity; policy; queue_limit = None })));
+       (request conn (Protocol.Init { capacity; policy; queue_limit = None; binary })));
   let latencies = ref [] in
   let accepted = ref 0 and rejected = ref 0 and submitted = ref 0 in
-  List.iteri
-    (fun i (task : Task.t) ->
-      let arrival = if rate = Float.infinity then 0.0 else Float.of_int i /. rate in
-      let req =
+  let submit_requests =
+    List.mapi
+      (fun i (task : Task.t) ->
+        let arrival =
+          if rate = Float.infinity then 0.0 else Float.of_int i /. rate
+        in
         Protocol.Submit
           {
             label = task.Task.label;
@@ -119,17 +197,37 @@ let replay conn ~trace ~rate ?(policy = Engine.Corrected Corrected_rules.OOSCMR)
             comp = task.Task.comp;
             mem = task.Task.mem;
             arrival;
-          }
-      in
-      let s0 = Unix.gettimeofday () in
-      let response = request conn req in
-      latencies := (Unix.gettimeofday () -. s0) :: !latencies;
-      incr submitted;
-      match response with
-      | line :: _ when String.length line >= 2 && String.sub line 0 2 = "OK" ->
-          incr accepted
-      | _ -> incr rejected)
-    tasks;
+          })
+      tasks
+  in
+  (* windows of [pipeline] requests in flight together; each request in
+     a window is charged the window's round trip (what a caller waiting
+     on the whole window experiences) *)
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | req :: rest -> take (k - 1) (req :: acc) rest
+  in
+  let rec windows = function
+    | [] -> ()
+    | pending ->
+        let window, rest = take pipeline [] pending in
+        let s0 = Unix.gettimeofday () in
+        let responses = request_pipelined conn window in
+        let dt = Unix.gettimeofday () -. s0 in
+        List.iter
+          (fun response ->
+            latencies := dt :: !latencies;
+            incr submitted;
+            match response with
+            | line :: _ when String.length line >= 2 && String.sub line 0 2 = "OK"
+              ->
+                incr accepted
+            | _ -> incr rejected)
+          responses;
+        windows rest
+  in
+  windows submit_requests;
   let drain_line = expect_ok "DRAIN" (request conn Protocol.Drain) in
   let wall_s = Unix.gettimeofday () -. t0 in
   let makespan =

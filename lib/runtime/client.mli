@@ -19,11 +19,31 @@ val request : connection -> Protocol.request -> string list
 (** Send one request and read the complete (possibly multi-line)
     response: the first [OK]/[ERR] line plus, for [POLL] ([new=<k>]) and
     [ENTRIES] ([n=<k>]), the [k] announced [ENTRY] lines. Raises
-    [Failure] when the server closes the stream mid-response. *)
+    [Failure] when the server closes the stream mid-response.
+
+    An [Init] carrying [binary = true] negotiates the binary framing of
+    {!Protocol}: it travels as a text line, its response and all later
+    traffic on this connection travel as frames — {!request},
+    {!request_line} and {!request_pipelined} switch over transparently
+    (in binary mode one response frame is one request's complete
+    response, so no announced-count parsing is involved). *)
 
 val request_line : connection -> string -> string list
 (** Like {!request} but for a raw request line (interactive mode: the
-    line is sent verbatim, framing inferred from the response). *)
+    line is sent verbatim, framing inferred from the response). On a
+    binary connection the line is re-encoded as a frame — a line that
+    does not parse is answered with a local [ERR parse ...] without
+    touching the wire. A text line that negotiates binary
+    ([INIT ... binary]) switches the connection exactly as the server
+    does. *)
+
+val request_pipelined : connection -> Protocol.request list -> string list list
+(** Send a window of requests before reading any response; returns one
+    response per request, in order. On a binary connection the whole
+    window travels as a single frame (the server runs it as one engine
+    pass); on a text connection the lines are written back to back and
+    the responses read sequentially. Must not contain a
+    binary-negotiating [Init] — use {!request} for the mode switch. *)
 
 val response_field : string -> string -> float option
 (** [response_field key line] extracts [<key>=<float>] from a response
@@ -47,6 +67,8 @@ val replay :
   rate:float ->
   ?policy:Engine.policy ->
   ?capacity_factor:float ->
+  ?binary:bool ->
+  ?pipeline:int ->
   unit ->
   replay
 (** Replay [trace] against the server: [INIT] a session at
@@ -54,5 +76,10 @@ val replay :
     [SUBMIT] task [i] with arrival time [i / rate] (virtual time;
     [rate = infinity] degenerates to the clairvoyant all-at-zero case),
     then [DRAIN]. The offline reference runs the same policy in-process
-    with every arrival at [0.]. Raises [Failure] when the server answers
-    [ERR] to INIT or DRAIN. *)
+    with every arrival at [0.]. [binary] (default [false]) negotiates
+    the binary framing at [INIT]; [pipeline] (default [1], must be
+    positive) keeps that many [SUBMIT]s in flight per window — in
+    binary mode a window is a single frame, so the server runs it as
+    one engine pass. Latency percentiles are over window round trips
+    (each request charged its window's round trip). Raises [Failure]
+    when the server answers [ERR] to INIT or DRAIN. *)

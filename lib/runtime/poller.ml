@@ -1,0 +1,143 @@
+external stub_epoll_available : unit -> bool = "dt_epoll_available"
+external stub_fd_setsize : unit -> int = "dt_fd_setsize"
+external stub_epoll_create : unit -> Unix.file_descr = "dt_epoll_create"
+
+external stub_epoll_ctl : Unix.file_descr -> int -> Unix.file_descr -> int -> unit
+  = "dt_epoll_ctl"
+
+external stub_epoll_wait :
+  Unix.file_descr -> int -> int array -> int array -> int = "dt_epoll_wait"
+
+(* On Unix a [Unix.file_descr] is an immediate int; the stub exposes the
+   identity so fds can key int hashtables and round-trip through the
+   epoll_wait event arrays without Obj.magic in OCaml code. *)
+external fd_int : Unix.file_descr -> int = "dt_fd_int"
+
+let epoll_available = stub_epoll_available ()
+let select_fd_limit = stub_fd_setsize ()
+
+type backend = Epoll | Select
+type kind = [ `Auto | `Epoll | `Select ]
+
+(* Interest tables double as the fd registry: epoll needs the int ->
+   file_descr mapping back from the event arrays, select needs the fd
+   sets rebuilt every wait. *)
+type epoll_state = {
+  epfd : Unix.file_descr;
+  einterest : (int, Unix.file_descr * bool * bool) Hashtbl.t;
+  ev_fds : int array;
+  ev_masks : int array;
+}
+
+type select_state = { sinterest : (Unix.file_descr, bool * bool) Hashtbl.t }
+type t = E of epoll_state | S of select_state
+
+let max_events = 512
+
+let create ?(kind = `Auto) () =
+  let use_epoll =
+    match kind with
+    | `Epoll ->
+        if not epoll_available then
+          invalid_arg "Poller.create: epoll backend unavailable on this platform";
+        true
+    | `Select -> false
+    | `Auto -> epoll_available
+  in
+  if use_epoll then
+    E
+      {
+        epfd = stub_epoll_create ();
+        einterest = Hashtbl.create 64;
+        ev_fds = Array.make max_events 0;
+        ev_masks = Array.make max_events 0;
+      }
+  else S { sinterest = Hashtbl.create 64 }
+
+let backend = function E _ -> Epoll | S _ -> Select
+let backend_name t = match t with E _ -> "epoll" | S _ -> "select"
+let mask ~read ~write = (if read then 1 else 0) lor if write then 2 else 0
+
+let add t fd ~read ~write =
+  match t with
+  | E e ->
+      let key = fd_int fd in
+      if Hashtbl.mem e.einterest key then invalid_arg "Poller.add: fd already registered";
+      stub_epoll_ctl e.epfd 0 fd (mask ~read ~write);
+      Hashtbl.replace e.einterest key (fd, read, write)
+  | S s ->
+      if Hashtbl.mem s.sinterest fd then invalid_arg "Poller.add: fd already registered";
+      Hashtbl.replace s.sinterest fd (read, write)
+
+let modify t fd ~read ~write =
+  match t with
+  | E e -> (
+      let key = fd_int fd in
+      match Hashtbl.find_opt e.einterest key with
+      | None -> invalid_arg "Poller.modify: fd not registered"
+      | Some (_, r, w) ->
+          if r <> read || w <> write then begin
+            stub_epoll_ctl e.epfd 1 fd (mask ~read ~write);
+            Hashtbl.replace e.einterest key (fd, read, write)
+          end)
+  | S s -> (
+      match Hashtbl.find_opt s.sinterest fd with
+      | None -> invalid_arg "Poller.modify: fd not registered"
+      | Some _ -> Hashtbl.replace s.sinterest fd (read, write))
+
+let remove t fd =
+  match t with
+  | E e ->
+      let key = fd_int fd in
+      if Hashtbl.mem e.einterest key then begin
+        Hashtbl.remove e.einterest key;
+        (* the fd may already be past use (shutdown races); deletion
+           failures only mean there is nothing left to deregister *)
+        try stub_epoll_ctl e.epfd 2 fd 0 with Unix.Unix_error _ -> ()
+      end
+  | S s -> Hashtbl.remove s.sinterest fd
+
+let wait t ~timeout =
+  match t with
+  | E e -> (
+      let timeout_ms =
+        if timeout < 0.0 then -1
+        else int_of_float (Float.ceil (timeout *. 1000.0))
+      in
+      match stub_epoll_wait e.epfd timeout_ms e.ev_fds e.ev_masks with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      | n ->
+          let events = ref [] in
+          for i = n - 1 downto 0 do
+            (* stale events for fds deregistered in this batch are dropped *)
+            match Hashtbl.find_opt e.einterest e.ev_fds.(i) with
+            | None -> ()
+            | Some (fd, _, _) ->
+                let m = e.ev_masks.(i) in
+                events := (fd, m land 1 <> 0, m land 2 <> 0) :: !events
+          done;
+          !events)
+  | S s -> (
+      let readers = ref [] and writers = ref [] in
+      Hashtbl.iter
+        (fun fd (r, w) ->
+          if r then readers := fd :: !readers;
+          if w then writers := fd :: !writers)
+        s.sinterest;
+      match Unix.select !readers !writers [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      | ready_r, ready_w, _ ->
+          let ready = Hashtbl.create 16 in
+          List.iter (fun fd -> Hashtbl.replace ready fd (true, false)) ready_r;
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt ready fd with
+              | Some (r, _) -> Hashtbl.replace ready fd (r, true)
+              | None -> Hashtbl.replace ready fd (false, true))
+            ready_w;
+          Hashtbl.fold (fun fd (r, w) acc -> (fd, r, w) :: acc) ready [])
+
+let close t =
+  match t with
+  | E e -> ( try Unix.close e.epfd with Unix.Unix_error _ -> ())
+  | S _ -> ()

@@ -1,0 +1,54 @@
+(** Readiness-API abstraction for the server's event loop: epoll on
+    Linux (level-triggered, via a small C stub), [Unix.select]
+    everywhere else — one interface, so {!Server.run} is written once
+    and the fallback stays exercised by the tests.
+
+    Interest is registered per fd as a (read, write) pair; {!wait}
+    returns the fds that are ready together with their readiness. Error
+    and hang-up conditions (EPOLLERR/EPOLLHUP) are folded into both
+    readiness bits, matching select's behaviour of waking the caller so
+    the failing read/write surfaces the condition. *)
+
+type backend = Epoll | Select
+
+type kind = [ `Auto | `Epoll | `Select ]
+(** Backend request: [`Auto] picks epoll when the platform has it. *)
+
+type t
+
+val epoll_available : bool
+(** Whether the epoll stub is functional on this platform. *)
+
+val select_fd_limit : int
+(** The platform's [FD_SETSIZE]: fds at or above this number break
+    [Unix.select], so a select-backed server must keep every fd it
+    creates under it. Used to validate [--max-conns]. *)
+
+val create : ?kind:kind -> unit -> t
+(** Raises [Invalid_argument] when [`Epoll] is requested but
+    unavailable; [`Auto] (the default) never raises. *)
+
+val backend : t -> backend
+val backend_name : t -> string
+(** ["epoll"] or ["select"] (surfaced in [STATS] responses). *)
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register [fd]. Adding an fd twice is [Invalid_argument]. *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Change the interest of a registered fd (write-interest toggling:
+    the server only asks for writability while output is pending). *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister [fd]; must happen before the fd is closed. Removing an
+    unregistered fd is a no-op (drop paths may race with shutdown). *)
+
+val wait : t -> timeout:float -> (Unix.file_descr * bool * bool) list
+(** Block up to [timeout] seconds (negative = forever) and return the
+    ready fds as [(fd, readable, writable)]. An interrupting signal
+    ([EINTR]) returns the empty list after running the OCaml signal
+    handlers, so the caller re-checks its stop flag. *)
+
+val close : t -> unit
+(** Release backend resources (the epoll fd); the registered fds are
+    the caller's to close. *)

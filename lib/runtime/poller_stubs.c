@@ -1,0 +1,146 @@
+/* epoll bindings for Dt_runtime.Poller.
+ *
+ * The OCaml side never sees raw epoll event bits: dt_epoll_wait maps
+ * them to a two-bit readiness mask (1 = readable, 2 = writable) so the
+ * select fallback and the epoll backend report through one interface.
+ * EPOLLERR/EPOLLHUP are folded into both bits — the event loop
+ * discovers the condition through the failing read/write, exactly as it
+ * would under select.
+ *
+ * On non-Linux platforms every entry point compiles to "unavailable"
+ * (dt_epoll_available returns false and the others raise ENOSYS), so
+ * the library still builds and Poller falls back to Unix.select.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/signals.h>
+#include <caml/unixsupport.h>
+
+#include <sys/select.h>
+#include <errno.h>
+
+CAMLprim value dt_fd_setsize(value unit)
+{
+  (void)unit;
+  return Val_int(FD_SETSIZE);
+}
+
+/* Unix.file_descr is an immediate int on Unix platforms; expose the
+ * identity so the OCaml side can use fds as hashtable keys and match
+ * them against the ints epoll_wait reports, without Obj.magic. */
+CAMLprim value dt_fd_int(value fd)
+{
+  return fd;
+}
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+CAMLprim value dt_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value dt_epoll_create(value unit)
+{
+  int fd;
+  (void)unit;
+  fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) uerror("epoll_create1", Nothing);
+  return Val_int(fd);
+}
+
+/* op: 0 = add, 1 = modify, 2 = delete; mask: 1 = read, 2 = write */
+CAMLprim value dt_epoll_ctl(value v_epfd, value v_op, value v_fd, value v_mask)
+{
+  struct epoll_event ev;
+  int op, mask = Int_val(v_mask);
+  ev.events = 0;
+  if (mask & 1) ev.events |= EPOLLIN;
+  if (mask & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(v_fd);
+  switch (Int_val(v_op)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl(Int_val(v_epfd), op, Int_val(v_fd), &ev) == -1)
+    uerror("epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+#define DT_EPOLL_MAX_EVENTS 1024
+
+/* Fills the caller's two int arrays (fds, readiness masks) and returns
+ * the number of events. The arrays bound the batch size; timeout is in
+ * milliseconds (-1 = infinite). EINTR reports zero events so the caller
+ * re-checks its stop flag — the pending OCaml signal handler has
+ * already run inside caml_leave_blocking_section. */
+CAMLprim value dt_epoll_wait(value v_epfd, value v_timeout_ms, value v_fds,
+                             value v_masks)
+{
+  CAMLparam4(v_epfd, v_timeout_ms, v_fds, v_masks);
+  struct epoll_event events[DT_EPOLL_MAX_EVENTS];
+  int epfd = Int_val(v_epfd);
+  int timeout = Int_val(v_timeout_ms);
+  int max = Wosize_val(v_fds);
+  int n, i;
+  if (max > (int)Wosize_val(v_masks)) max = Wosize_val(v_masks);
+  if (max > DT_EPOLL_MAX_EVENTS) max = DT_EPOLL_MAX_EVENTS;
+  caml_enter_blocking_section();
+  n = epoll_wait(epfd, events, max, timeout);
+  caml_leave_blocking_section();
+  if (n == -1) {
+    if (errno == EINTR) CAMLreturn(Val_int(0));
+    uerror("epoll_wait", Nothing);
+  }
+  for (i = 0; i < n; i++) {
+    int mask = 0;
+    if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP))
+      mask |= 1;
+    if (events[i].events & (EPOLLOUT | EPOLLERR | EPOLLHUP))
+      mask |= 2;
+    /* immediates: no write barrier needed */
+    Field(v_fds, i) = Val_int(events[i].data.fd);
+    Field(v_masks, i) = Val_int(mask);
+  }
+  CAMLreturn(Val_int(n));
+}
+
+#else /* !__linux__ */
+
+CAMLprim value dt_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value dt_epoll_create(value unit)
+{
+  (void)unit;
+  unix_error(ENOSYS, "epoll_create1", Nothing);
+  return Val_unit; /* unreachable */
+}
+
+CAMLprim value dt_epoll_ctl(value v_epfd, value v_op, value v_fd, value v_mask)
+{
+  (void)v_epfd; (void)v_op; (void)v_fd; (void)v_mask;
+  unix_error(ENOSYS, "epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+CAMLprim value dt_epoll_wait(value v_epfd, value v_timeout_ms, value v_fds,
+                             value v_masks)
+{
+  (void)v_epfd; (void)v_timeout_ms; (void)v_fds; (void)v_masks;
+  unix_error(ENOSYS, "epoll_wait", Nothing);
+  return Val_unit;
+}
+
+#endif

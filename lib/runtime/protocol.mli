@@ -37,7 +37,15 @@ label     = 1*(VCHAR without SP)
     [STATS] are [ERR state]. *)
 
 type request =
-  | Init of { capacity : float; policy : Engine.policy; queue_limit : int option }
+  | Init of {
+      capacity : float;
+      policy : Engine.policy;
+      queue_limit : int option;
+      binary : bool;
+          (** negotiate the length-prefixed binary framing: everything
+              after this request — its own response included — travels
+              as binary frames in both directions (see below) *)
+    }
   | Submit of { label : string; comm : float; comp : float; mem : float; arrival : float }
   | Poll
   | Entries
@@ -57,3 +65,67 @@ val ok : string -> string
 val err : code:string -> string -> string
 (** Response-line constructors ([OK ...] / [ERR <code> ...]); newlines in
     the payload are replaced by spaces so one response is one line. *)
+
+(** {2 Binary framing}
+
+    Negotiated by the optional final [binary] token of a text [INIT]
+    line ([INIT 10 OOSCMR binary]): a syntactically valid switching
+    INIT flips the connection to binary immediately — its own response
+    and all subsequent traffic, both directions, are length-prefixed
+    frames. Old clients never send the token and keep the text
+    protocol; mixed text and binary connections coexist on one server.
+
+    One frame is a [u32] big-endian payload length followed by that
+    many payload bytes, bounded by {!max_frame_bytes}. A request
+    frame's payload concatenates encoded requests — many [SUBMIT]s in
+    one frame are decoded together and run as one engine pass. A
+    response frame's payload concatenates [u32]-length-prefixed
+    response lines (the same lines the text protocol would send); each
+    request is answered by exactly one frame, so a [POLL]/[ENTRIES]
+    response needs no announced-count parsing.
+
+    Per-request encodings (tag byte first, floats are IEEE-754 doubles
+    big-endian):
+    {v
+'S' SUBMIT    u16 label-length, label, f64 comm, comp, mem, arrival
+'I' INIT      f64 capacity, u8 policy-name length, policy name,
+              u32 queue-limit (0 = none), u8 binary flag
+'P' POLL  'E' ENTRIES  'T' STATS  'D' DRAIN  'Q' QUIT  'X' SHUTDOWN
+    v}
+
+    Value errors (negative comm, unknown policy, ...) are recoverable —
+    every encoding has a self-delimiting size, so the offending request
+    is answered [ERR parse] and decoding continues. Structural errors
+    (unknown tag, truncated payload, oversized frame) close the
+    connection: a binary stream cannot be resynchronised. *)
+
+val max_frame_bytes : int
+(** Maximum frame payload size (1 MiB); a declared length beyond it is
+    a structural error. *)
+
+val switches_to_binary : string -> bool
+(** Whether a text request line is a syntactically valid [INIT] with
+    the [binary] token — the framing layers on both sides switch on
+    exactly this predicate. *)
+
+type 'a frame =
+  | Frame of 'a * int  (** payload and total bytes consumed *)
+  | Need_more          (** incomplete: keep the bytes, read more *)
+  | Frame_error of string  (** structural: close the connection *)
+
+val extract_frame : string -> pos:int -> string frame
+(** Pull one frame's payload out of a reassembly buffer at [pos]. *)
+
+val encode_request_frame : request list -> string
+(** One frame holding the given requests, header included. *)
+
+val decode_requests : string -> ((request, string) result list, string) result
+(** Decode a request frame's payload. Outer [Error] = structural
+    (connection must close); inner [Error] = per-request value error
+    (answer [ERR parse], keep going). *)
+
+val encode_response_frame : string list -> string
+(** One frame holding one request's response lines, header included. *)
+
+val decode_responses : string -> (string list, string) result
+(** Decode a response frame's payload back into response lines. *)

@@ -10,7 +10,10 @@ let create ?(host = "127.0.0.1") ~port () =
   Unix.setsockopt fd SO_REUSEADDR true;
   (try
      Unix.bind fd addr;
-     Unix.listen fd 64;
+     (* a C10K-scale accept burst overflows a small backlog into SYN
+        retransmits (whole seconds per connection); the kernel clamps
+        this to somaxconn *)
+     Unix.listen fd 1024;
      Unix.set_nonblock fd
    with e ->
      Unix.close fd;
@@ -24,26 +27,65 @@ let create ?(host = "127.0.0.1") ~port () =
 
 let port t = t.port
 
+(* The server itself holds a handful of fds (listener, wake pipe,
+   stdio, scratch for accepts in flight) besides the connections; a
+   select-backed run must keep every fd *number* under FD_SETSIZE, so
+   its connection ceiling leaves headroom for those. *)
+let select_conn_limit = Poller.select_fd_limit - 16
+
 (* ------------------------- connection state ------------------------- *)
+
+type mode = Text | Binary
+
+(* What the reader parsed off the wire, paired with the mode its
+   response must be encoded in. A connection that negotiates binary
+   switches mid-buffer: the flipping INIT's own item already carries
+   [Binary], everything parsed before it [Text]. *)
+type item =
+  | Line of string (* text-mode request line, terminator stripped *)
+  | Req of (Protocol.request, string) result
+      (* decoded binary request; [Error] is a recoverable value error
+         answered [ERR parse] without losing the stream *)
+  | Fatal of string (* structural framing error: answer, then close *)
 
 type conn = {
   fd : Unix.file_descr;
   session : Session.t;
   shard : int;            (* fixed at accept: the pool shard that runs
                              every batch of this connection's requests *)
-  rbuf : Buffer.t;        (* received bytes not yet forming a full line *)
-  inbox : string Queue.t; (* complete request lines awaiting dispatch *)
+  rbuf : Buffer.t;        (* received bytes not yet forming a full
+                             line/frame *)
+  mutable rneed : int;    (* binary mode: bytes rbuf must reach before
+                             reparsing is worthwhile (frame reassembly
+                             without re-scanning per read) *)
+  mutable mode : mode;    (* framing of the *incoming* byte stream *)
+  inbox : (mode * item) Queue.t; (* parsed requests awaiting dispatch *)
   mutable busy : bool;    (* a batch is in flight on the shard *)
   mutable out : string;   (* response bytes currently being written *)
   mutable out_off : int;  (* prefix of [out] already on the wire *)
   outq : Buffer.t;        (* responses queued behind [out] *)
   mutable last_activity : float;
   mutable closing : bool; (* read no more; close once the output drains *)
+  mutable dead : bool;    (* dropped: fd closed, possibly reused by a new
+                             connection — never touch the poller again *)
 }
 
 (* One request line is bounded; a peer that streams a longer "line" is
-   answered ERR parse and disconnected instead of growing rbuf forever. *)
+   answered ERR parse and disconnected instead of growing rbuf forever.
+   (Binary mode is bounded by Protocol.max_frame_bytes instead.) *)
 let max_line_bytes = 65536
+
+(* Backpressure: a peer that stops reading sees its pending output
+   grow; past half the bound the server stops reading from it (write
+   interest alone keeps the connection registered), past the full bound
+   the connection is dropped — the output is undeliverable in any
+   useful time frame. *)
+let default_max_output_bytes = 4 * 1024 * 1024
+
+(* A shard stuck on a long batch must not let a pipelining client grow
+   the inbox without bound: past this many parsed-but-undispatched
+   requests the server stops reading until the batch returns. *)
+let inbox_pause_items = 4096
 
 let make_conn ?info ~shard fd =
   Unix.set_nonblock fd;
@@ -53,6 +95,8 @@ let make_conn ?info ~shard fd =
     session = Session.create ?info ();
     shard;
     rbuf = Buffer.create 256;
+    rneed = 0;
+    mode = Text;
     inbox = Queue.create ();
     busy = false;
     out = "";
@@ -60,16 +104,12 @@ let make_conn ?info ~shard fd =
     outq = Buffer.create 256;
     last_activity = Unix.gettimeofday ();
     closing = false;
+    dead = false;
   }
 
-let has_output c = c.out_off < String.length c.out || Buffer.length c.outq > 0
-
-let enqueue c lines =
-  List.iter
-    (fun line ->
-      Buffer.add_string c.outq line;
-      Buffer.add_char c.outq '\n')
-    lines
+let output_pending c = String.length c.out - c.out_off + Buffer.length c.outq
+let has_output c = output_pending c > 0
+let add_output c s = if s <> "" then Buffer.add_string c.outq s
 
 (* Write as much pending output as the socket accepts right now; [false]
    means the peer is gone (EPIPE/ECONNRESET/...) and the connection must
@@ -99,43 +139,123 @@ let flush_output c =
   in
   go ()
 
-(* Split rbuf into the complete lines it holds, keeping the partial tail
-   (slow-loris clients deliver a request over many reads). *)
-let take_lines c =
-  let s = Buffer.contents c.rbuf in
-  let lines = ref [] and start = ref 0 in
-  (try
-     while true do
-       let i = String.index_from s !start '\n' in
-       lines := String.sub s !start (i - !start) :: !lines;
-       start := i + 1
-     done
-   with Not_found -> ());
-  if !start > 0 then begin
-    Buffer.clear c.rbuf;
-    Buffer.add_substring c.rbuf s !start (String.length s - !start)
-  end;
-  List.rev !lines
+(* ------------------------- input parsing --------------------------- *)
 
-(* Run one connection's batch of parsed-off lines through its session.
-   With a pool, this executes as a pinned task on the connection's shard:
-   one batch at a time per connection (the [busy] flag), batches in
-   arrival order, so the session needs no lock even though it runs on a
-   worker domain. Session.handle_line never raises by contract; the
-   handler here is the last line of defense so that an escaped exception
-   tears down one connection, never the event loop. *)
-let process_lines session lines =
-  let rec go acc control = function
-    | [] -> (List.rev acc, control)
-    | _ :: _ when control <> Session.Continue -> (List.rev acc, control)
-    | line :: rest ->
-        let responses, next = Session.handle_line session line in
-        go (List.rev_append responses acc) next rest
+let keep_tail buf s start =
+  if start > 0 then begin
+    Buffer.clear buf;
+    Buffer.add_substring buf s start (String.length s - start)
+  end
+
+(* Split rbuf's binary frames into inbox items, keeping the partial
+   tail. Sets [rneed] so the caller skips reparsing until the partial
+   frame can be complete (reassembly over many reads stays linear). *)
+let parse_binary c =
+  let s = Buffer.contents c.rbuf in
+  let n = String.length s in
+  let pos = ref 0 and continue = ref true in
+  while !continue do
+    match Protocol.extract_frame s ~pos:!pos with
+    | Protocol.Need_more -> continue := false
+    | Protocol.Frame_error msg ->
+        Queue.push (Binary, Fatal msg) c.inbox;
+        pos := n;
+        continue := false
+    | Protocol.Frame (payload, used) -> (
+        pos := !pos + used;
+        match Protocol.decode_requests payload with
+        | Error msg ->
+            Queue.push (Binary, Fatal msg) c.inbox;
+            pos := n;
+            continue := false
+        | Ok requests ->
+            List.iter (fun r -> Queue.push (Binary, Req r) c.inbox) requests)
+  done;
+  keep_tail c.rbuf s !pos;
+  let tail = n - !pos in
+  c.rneed <-
+    (if tail >= 4 then
+       4
+       + (Char.code s.[!pos] lsl 24)
+       + (Char.code s.[!pos + 1] lsl 16)
+       + (Char.code s.[!pos + 2] lsl 8)
+       + Char.code s.[!pos + 3]
+     else 4)
+
+(* Split rbuf into inbox items: complete text lines up to (and
+   including) a binary-negotiating INIT, then binary frames. Partial
+   tails are kept (slow-loris clients deliver a request over many
+   reads). Returns [false] when the connection must close because the
+   text-mode line bound was exceeded. *)
+let parse_input c =
+  (match c.mode with
+  | Binary -> ()
+  | Text ->
+      let s = Buffer.contents c.rbuf in
+      let start = ref 0 and continue = ref true in
+      while !continue do
+        match String.index_from s !start '\n' with
+        | exception Not_found -> continue := false
+        | i ->
+            let line = String.sub s !start (i - !start) in
+            start := i + 1;
+            if Protocol.switches_to_binary line then begin
+              (* the switch takes effect immediately: the INIT's own
+                 response, and every byte after its newline, is binary *)
+              c.mode <- Binary;
+              Queue.push (Binary, Line line) c.inbox;
+              continue := false
+            end
+            else Queue.push (Text, Line line) c.inbox
+      done;
+      keep_tail c.rbuf s !start);
+  match c.mode with
+  | Binary ->
+      if Buffer.length c.rbuf >= c.rneed then parse_binary c;
+      true
+  | Text -> Buffer.length c.rbuf <= max_line_bytes
+
+(* Run one connection's batch of parsed items through its session,
+   encoding each item's responses in its own mode — the text protocol
+   appends one '\n'-terminated line each, binary wraps each request's
+   responses in exactly one frame. With a pool this executes as a
+   pinned task on the connection's shard: one batch at a time per
+   connection (the [busy] flag), batches in arrival order, so the
+   session needs no lock even though it runs on a worker domain.
+   Session handlers never raise by contract; the handler here is the
+   last line of defense so that an escaped exception tears down one
+   connection, never the event loop. *)
+let process_items session items =
+  let out = Buffer.create 256 in
+  let emit mode responses =
+    match mode with
+    | Text ->
+        List.iter
+          (fun line ->
+            Buffer.add_string out line;
+            Buffer.add_char out '\n')
+          responses
+    | Binary -> Buffer.add_string out (Protocol.encode_response_frame responses)
   in
-  match go [] Session.Continue lines with
-  | result -> result
+  let rec go control = function
+    | [] -> control
+    | _ :: _ when control <> Session.Continue -> control
+    | (mode, item) :: rest ->
+        let responses, next =
+          match item with
+          | Line line -> Session.handle_line session line
+          | Req (Ok request) -> Session.handle_request session request
+          | Req (Error msg) ->
+              ([ Protocol.err ~code:"parse" msg ], Session.Continue)
+          | Fatal msg -> ([ Protocol.err ~code:"parse" msg ], Session.Close_session)
+        in
+        emit mode responses;
+        go next rest
+  in
+  match go Session.Continue items with
+  | control -> (Buffer.contents out, control)
   | exception e ->
-      ( [ Protocol.err ~code:"internal" (Printexc.to_string e) ],
+      ( Protocol.err ~code:"internal" (Printexc.to_string e) ^ "\n",
         Session.Close_session )
 
 let install_signal_handlers stop =
@@ -159,32 +279,76 @@ let busy_line =
 
 let drain_deadline_s = 2.0
 
-let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
+(* Caps the poll timeout: bounds the classic race of a termination
+   signal landing between the stop-flag check and the wait (the handler
+   only sets a flag; an undelayed wait would sleep through it). *)
+let max_wait_s = 0.5
+
+let run ?pool ?(backend = `Auto) ?(max_conns = 512) ?max_output_bytes
+    ?(idle_timeout = 0.0) ?on_listen t =
+  let max_output_bytes =
+    match max_output_bytes with None -> default_max_output_bytes | Some b -> b
+  in
   if max_conns < 1 then invalid_arg "Server.run: max_conns must be positive";
+  if max_output_bytes < 1 then
+    invalid_arg "Server.run: max_output_bytes must be positive";
   if Float.is_nan idle_timeout || idle_timeout < 0.0 then
     invalid_arg "Server.run: idle_timeout must be non-negative";
+  let poller = Poller.create ~kind:backend () in
+  if Poller.backend poller = Poller.Select && max_conns > select_conn_limit then begin
+    Poller.close poller;
+    invalid_arg
+      (Printf.sprintf
+         "Server.run: max_conns %d exceeds the select backend's limit of %d \
+          (FD_SETSIZE %d); use the epoll backend"
+         max_conns select_conn_limit Poller.select_fd_limit)
+  end;
+  let read_pause_bytes = max 1 (max_output_bytes / 2) in
   Net.ignore_sigpipe ();
   let restore = install_signal_handlers t.stop in
   (match on_listen with None -> () | Some f -> f t.port);
-  let scratch = Bytes.create 4096 in
-  let conns = ref ([] : conn list) in
+  let scratch = Bytes.create 65536 in
+  (* fd-keyed table (fds are immediate ints) so an epoll wakeup touches
+     only the connections with events, never the whole population *)
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 256 in
+  let num_conns = ref 0 in
+  let all_conns () = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
   let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
   let drop c =
-    conns := List.filter (fun c' -> c' != c) !conns;
-    close_fd c.fd
+    if not c.dead then begin
+      c.dead <- true;
+      Hashtbl.remove conns c.fd;
+      decr num_conns;
+      Poller.remove poller c.fd;
+      close_fd c.fd
+    end
+  in
+  (* Interest follows connection state: read while the peer may send
+     more (not closing, not backpressured), write only while output is
+     pending. The poller no-ops unchanged interest, so calling this
+     after every state change is cheap. *)
+  let update_interest c =
+    if not c.dead then
+      let pending = output_pending c in
+      Poller.modify poller c.fd
+        ~read:
+          ((not c.closing)
+          && pending < read_pause_bytes
+          && Queue.length c.inbox < inbox_pause_items)
+        ~write:(pending > 0)
   in
   (* -------- shard dispatch machinery (engaged when [pool] is set) ----
      Each connection's batches run as pinned tasks on its shard; the
      event loop never blocks on them. Finished batches come back through
      [completions] (guarded by [comp_mutex]); the self-pipe wakes the
-     select so a response is flushed as soon as its batch ends, not at
+     poller so a response is flushed as soon as its batch ends, not at
      the next timeout tick. *)
   let num_shards =
     match pool with Some p -> Dt_par.Pool.num_domains p | None -> 1
   in
   let next_shard = ref 0 in
   let comp_mutex = Mutex.create () in
-  let completions = ref ([] : (conn * (string list * Session.control)) list) in
+  let completions = ref ([] : (conn * (string * Session.control)) list) in
   let in_flight = Atomic.make 0 in
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
@@ -209,27 +373,30 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
     go ()
   in
   let conn_info shard () =
+    let backend = "backend=" ^ Poller.backend_name poller in
     match pool with
-    | None -> ""
+    | None -> backend
     | Some p ->
         let s = Dt_par.Pool.stats p in
-        Printf.sprintf "shard=%d pool_jobs=%d pool_fallbacks=%d pool_steals=%d"
-          shard s.Dt_par.Pool.jobs s.Dt_par.Pool.fallbacks s.Dt_par.Pool.steals
+        Printf.sprintf "shard=%d %s pool_jobs=%d pool_fallbacks=%d pool_steals=%d"
+          shard backend s.Dt_par.Pool.jobs s.Dt_par.Pool.fallbacks
+          s.Dt_par.Pool.steals
   in
-  (* Hand a connection's queued lines to its shard, unless a batch is
+  (* Hand a connection's queued items to its shard, unless a batch is
      already in flight there (per-connection order) or inline when the
-     server runs without a pool. *)
+     server runs without a pool. One dispatch covers everything queued —
+     a frame of pipelined SUBMITs becomes a single engine pass. *)
   let rec dispatch c =
     if (not c.busy) && (not c.closing) && not (Queue.is_empty c.inbox) then begin
-      let lines = List.of_seq (Queue.to_seq c.inbox) in
+      let items = List.of_seq (Queue.to_seq c.inbox) in
       Queue.clear c.inbox;
       match pool with
-      | None -> apply c (process_lines c.session lines)
+      | None -> apply c (process_items c.session items)
       | Some p ->
           c.busy <- true;
           Atomic.incr in_flight;
           Dt_par.Pool.submit p ~shard:c.shard (fun () ->
-              let result = process_lines c.session lines in
+              let result = process_items c.session items in
               Mutex.lock comp_mutex;
               completions := (c, result) :: !completions;
               Mutex.unlock comp_mutex;
@@ -238,8 +405,8 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
                  holds no reference to the wake pipe *)
               Atomic.decr in_flight)
     end
-  and apply c (responses, control) =
-    enqueue c responses;
+  and apply c (output, control) =
+    add_output c output;
     match control with
     | Session.Continue -> ()
     | Session.Close_session -> c.closing <- true
@@ -247,7 +414,19 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
         c.closing <- true;
         Atomic.set t.stop true
   in
-  let apply_completions () =
+  (* Flush what the socket accepts, enforce the output bound, reap
+     drained closing connections, and re-register interest — the single
+     exit point for every connection touched in a loop round. *)
+  let finalize c =
+    if not c.dead then
+      if not (flush_output c) then drop c
+      else if output_pending c > max_output_bytes then
+        (* the peer is not reading: the output is undeliverable *)
+        drop c
+      else if c.closing && (not c.busy) && not (has_output c) then drop c
+      else update_interest c
+  in
+  let apply_completions touched =
     let ready =
       Mutex.lock comp_mutex;
       let l = !completions in
@@ -258,9 +437,12 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
     List.iter
       (fun (c, result) ->
         c.busy <- false;
-        apply c result;
-        (* lines may have queued up while the batch was in flight *)
-        dispatch c)
+        if not c.dead then begin
+          apply c result;
+          (* items may have queued up while the batch was in flight *)
+          dispatch c;
+          touched := c :: !touched
+        end)
       ready
   in
   (* EOF, a read/write error, or data arriving: returns [true] when the
@@ -271,13 +453,24 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
     | n ->
         Buffer.add_subbytes c.rbuf scratch 0 n;
         c.last_activity <- Unix.gettimeofday ();
-        true
+        if parse_input c then begin
+          dispatch c;
+          true
+        end
+        else begin
+          add_output c
+            (Protocol.err ~code:"parse"
+               (Printf.sprintf "request line exceeds %d bytes" max_line_bytes)
+            ^ "\n");
+          c.closing <- true;
+          true
+        end
     | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
       ->
         true
     | exception Unix.Unix_error _ -> false
   in
-  let accept_all () =
+  let accept_all touched =
     let rec go () =
       match Unix.accept t.listen_fd with
       | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
@@ -285,7 +478,7 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
           ()
       | exception Unix.Unix_error _ -> ()
       | fd, _ ->
-          if List.length !conns >= max_conns then begin
+          if !num_conns >= max_conns then begin
             (* over the limit: one short best-effort answer, then close *)
             (try ignore (Unix.write_substring fd busy_line 0 (String.length busy_line))
              with Unix.Unix_error _ -> ());
@@ -296,18 +489,44 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
                connection's whole lifetime *)
             let shard = !next_shard in
             next_shard := (shard + 1) mod num_shards;
-            conns := make_conn ~info:(conn_info shard) ~shard fd :: !conns
+            let c = make_conn ~info:(conn_info shard) ~shard fd in
+            Hashtbl.replace conns fd c;
+            incr num_conns;
+            Poller.add poller fd ~read:true ~write:false;
+            touched := c :: !touched
           end;
           go ()
     in
     go ()
   in
+  (* Poll timeout derived from the nearest idle deadline — an idle
+     population costs no wakeups beyond the [max_wait_s] heartbeat, and
+     an imminent timeout is honoured promptly instead of at the next
+     fixed tick. *)
+  let compute_timeout () =
+    if idle_timeout <= 0.0 then max_wait_s
+    else begin
+      let nearest =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if c.closing || c.busy then acc
+            else Float.min acc (c.last_activity +. idle_timeout))
+          conns infinity
+      in
+      if nearest = infinity then max_wait_s
+      else
+        Float.max 0.0 (Float.min max_wait_s (nearest -. Unix.gettimeofday ()))
+    end
+  in
+  Poller.add poller t.listen_fd ~read:true ~write:false;
+  Poller.add poller wake_r ~read:true ~write:false;
   Fun.protect
     ~finally:(fun () ->
       restore ();
+      Poller.close poller;
       close_fd t.listen_fd;
-      List.iter (fun c -> close_fd c.fd) !conns;
-      conns := [];
+      List.iter (fun c -> close_fd c.fd) (all_conns ());
+      Hashtbl.reset conns;
       (* Only reclaim the self-pipe once no task can touch it again: a
          batch stuck past the drain deadline still holds [wake_w], and
          closing would let the fd number be reused under it. Leaking two
@@ -318,106 +537,84 @@ let run ?pool ?(max_conns = 512) ?(idle_timeout = 0.0) ?on_listen t =
       end)
     (fun () ->
       while not (Atomic.get t.stop) do
-        let readers =
-          t.listen_fd :: wake_r
-          :: List.filter_map
-               (fun c -> if c.closing then None else Some c.fd)
-               !conns
-        in
-        let writers =
-          List.filter_map (fun c -> if has_output c then Some c.fd else None) !conns
-        in
-        match Unix.select readers writers [] 0.2 with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | ready_r, _ready_w, _ ->
-            (* 1. collect batches finished on the shards since last round
-               (the wake pipe made select return immediately for them) *)
-            if List.mem wake_r ready_r then drain_wake ();
-            apply_completions ();
-            (* 2. read from every ready connection (EOF drops it, pending
-               output and all: the peer is gone) *)
-            List.iter
-              (fun c ->
-                if (not c.closing) && List.mem c.fd ready_r then
-                  if not (handle_read c) then drop c)
-              !conns;
-            (* 3. accept after reads, so slots freed by disconnections in
-               this very round are visible to the max_conns check *)
-            if List.mem t.listen_fd ready_r then accept_all ();
-            (* 4. parse complete lines into each connection's inbox, then
-               dispatch: one pinned batch per connection on its shard
-               (inline without a pool) — always in order within a
-               connection, and a slow batch only ever delays its own
-               shard, never the loop *)
-            List.iter
-              (fun c ->
-                if not c.closing then
-                  if Buffer.length c.rbuf > max_line_bytes then begin
-                    enqueue c
-                      [
-                        Protocol.err ~code:"parse"
-                          (Printf.sprintf "request line exceeds %d bytes"
-                             max_line_bytes);
-                      ];
-                    c.closing <- true
-                  end
-                  else begin
-                    List.iter (fun l -> Queue.push l c.inbox) (take_lines c);
-                    dispatch c
-                  end)
-              !conns;
-            (* 5. idle-connection timeout (a connection with a batch in
-               flight is working, not idle) *)
-            if idle_timeout > 0.0 then begin
-              let now = Unix.gettimeofday () in
-              List.iter
-                (fun c ->
-                  if
-                    (not c.closing) && (not c.busy)
-                    && now -. c.last_activity >= idle_timeout
-                  then begin
-                    enqueue c
-                      [
-                        Protocol.err ~code:"timeout"
-                          (Printf.sprintf "idle for more than %gs, closing"
-                             idle_timeout);
-                      ];
-                    c.closing <- true
-                  end)
-                !conns
-            end;
-            (* 6. opportunistic writes (select wakes us again if a socket
-               buffer filled up), then reap drained closing connections
-               whose last batch has come back *)
-            List.iter (fun c -> if not (flush_output c) then drop c) !conns;
-            List.iter
-              (fun c ->
-                if c.closing && (not c.busy) && not (has_output c) then drop c)
-              !conns
+        let events = Poller.wait poller ~timeout:(compute_timeout ()) in
+        let touched = ref [] in
+        let accept_ready = ref false in
+        (* 1. collect batches finished on the shards since last round
+           (the wake pipe made the poller return immediately for them) *)
+        List.iter
+          (fun (fd, readable, _) ->
+            if readable && fd = wake_r then drain_wake ())
+          events;
+        apply_completions touched;
+        (* 2. read from every ready connection (EOF drops it, pending
+           output and all: the peer is gone), parse complete requests
+           and dispatch each connection's batch to its shard — one
+           pinned batch per connection per wakeup (inline without a
+           pool): always in order within a connection, and a slow batch
+           only ever delays its own shard, never the loop *)
+        List.iter
+          (fun (fd, readable, writable) ->
+            if fd = t.listen_fd then (if readable then accept_ready := true)
+            else if fd <> wake_r then
+              match Hashtbl.find_opt conns fd with
+              | None -> ()
+              | Some c ->
+                  if readable && (not c.closing) && not (handle_read c) then
+                    drop c
+                  else if readable || writable then touched := c :: !touched)
+          events;
+        (* 3. accept after reads, so slots freed by disconnections in
+           this very round are visible to the max_conns check *)
+        if !accept_ready then accept_all touched;
+        (* 4. idle-connection timeout (a connection with a batch in
+           flight is working, not idle) *)
+        if idle_timeout > 0.0 then begin
+          let now = Unix.gettimeofday () in
+          Hashtbl.iter
+            (fun _ c ->
+              if
+                (not c.closing) && (not c.busy)
+                && now -. c.last_activity >= idle_timeout
+              then begin
+                add_output c
+                  (Protocol.err ~code:"timeout"
+                     (Printf.sprintf "idle for more than %gs, closing"
+                        idle_timeout)
+                  ^ "\n");
+                c.closing <- true;
+                touched := c :: !touched
+              end)
+            conns
+        end;
+        (* 5. flush, enforce the output bound, reap, re-register
+           interest — only for the connections this round touched *)
+        List.iter finalize !touched
       done;
       (* graceful drain: stop accepting, wait (bounded) for in-flight
          batches, deliver every queued response (the SHUTDOWN
          acknowledgement in particular), then close all remaining
          connections — so one stuck reader or one slow batch cannot hold
          the shutdown hostage *)
+      Poller.remove poller t.listen_fd;
       close_fd t.listen_fd;
+      List.iter
+        (fun c ->
+          c.closing <- true;
+          update_interest c)
+        (all_conns ());
       let deadline = Unix.gettimeofday () +. drain_deadline_s in
       let rec drain () =
         drain_wake ();
-        apply_completions ();
-        List.iter (fun c -> if not (flush_output c) then drop c) !conns;
+        apply_completions (ref []);
         List.iter
-          (fun c -> if (not c.busy) && not (has_output c) then drop c)
-          !conns;
-        if !conns <> [] && Unix.gettimeofday () < deadline then begin
-          let writers =
-            List.filter_map
-              (fun c -> if has_output c then Some c.fd else None)
-              !conns
-          in
-          (match Unix.select [ wake_r ] writers [] 0.05 with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | _ -> ());
+          (fun c ->
+            if not (flush_output c) then drop c
+            else if (not c.busy) && not (has_output c) then drop c
+            else update_interest c)
+          (all_conns ());
+        if !num_conns > 0 && Unix.gettimeofday () < deadline then begin
+          ignore (Poller.wait poller ~timeout:0.05);
           drain ()
         end
       in

@@ -37,12 +37,12 @@ let with_engine t f =
   | None -> [ Protocol.err ~code:"state" "not initialised: send INIT first" ]
   | Some e -> f e
 
-let handle_request t (request : Protocol.request) =
+let dispatch t (request : Protocol.request) =
   match request with
   | Quit -> ([ Protocol.ok "bye" ], Close_session)
   | Shutdown -> ([ Protocol.ok "shutting down" ], Stop_server)
   | Stats -> ([ stats_line t ], Continue)
-  | Init { capacity; policy; queue_limit } ->
+  | Init { capacity; policy; queue_limit; binary } ->
       (match t.engine with
       | Some _ -> ([ Protocol.err ~code:"state" "already initialised" ], Continue)
       | None ->
@@ -50,8 +50,9 @@ let handle_request t (request : Protocol.request) =
           t.engine <- Some e;
           ( [
               Protocol.ok
-                (Printf.sprintf "capacity=%.17g policy=%s queue=%d" capacity
-                   (Engine.policy_name policy) (Engine.queue_limit e));
+                (Printf.sprintf "capacity=%.17g policy=%s queue=%d%s" capacity
+                   (Engine.policy_name policy) (Engine.queue_limit e)
+                   (if binary then " mode=binary" else ""));
             ],
             Continue ))
   | Submit { label; comm; comp; mem; arrival } ->
@@ -112,17 +113,19 @@ let handle_request t (request : Protocol.request) =
    in the engine/simulator code (see session.mli). *)
 let fault_hook : (Protocol.request -> unit) ref = ref (fun _ -> ())
 
+let handle_request t request =
+  try
+    !fault_hook request;
+    dispatch t request
+  with
+  | Invalid_argument msg -> ([ Protocol.err ~code:"state" msg ], Continue)
+  | e ->
+      (* any other exception out of engine/sim code: answer instead of
+         letting it escape through the server (or a pool domain) and
+         kill the whole service *)
+      ([ Protocol.err ~code:"internal" (Printexc.to_string e) ], Continue)
+
 let handle_line t line =
   match Protocol.parse_request (strip line) with
   | Error msg -> ([ Protocol.err ~code:"parse" msg ], Continue)
-  | Ok request -> (
-      try
-        !fault_hook request;
-        handle_request t request
-      with
-      | Invalid_argument msg -> ([ Protocol.err ~code:"state" msg ], Continue)
-      | e ->
-          (* any other exception out of engine/sim code: answer instead
-             of letting it escape through the server (or a pool domain)
-             and kill the whole service *)
-          ([ Protocol.err ~code:"internal" (Printexc.to_string e) ], Continue))
+  | Ok request -> handle_request t request

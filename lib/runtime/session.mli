@@ -33,6 +33,13 @@ val handle_line : t -> string -> string list * control
     [ERR internal <exn>] — the session stays alive and usable in every
     case (a server must not die because one request hit a bug). *)
 
+val handle_request : t -> Protocol.request -> string list * control
+(** Same machine, entered with an already-decoded request — the path
+    binary-framed connections take, since their requests never exist as
+    text lines. Shares [handle_line]'s never-raises contract (and the
+    {!fault_hook} injection point), differing only in skipping the
+    parse step. *)
+
 val fault_hook : (Protocol.request -> unit) ref
 (** Test-only fault injection: called with every parsed request just
     before it is handled. A hook that raises models a bug in engine/sim

@@ -149,7 +149,7 @@ let protocol_parses () =
       Alcotest.(check (float 0.0)) "arrival defaults to 0" 0.0 arrival
   | _ -> Alcotest.fail "wrong request");
   (match ok "init 4.5 lcmr 16" with
-  | Protocol.Init { capacity; policy; queue_limit } ->
+  | Protocol.Init { capacity; policy; queue_limit; binary = _ } ->
       Alcotest.(check (float 0.0)) "capacity" 4.5 capacity;
       Alcotest.(check string) "policy" "LCMR" (Engine.policy_name policy);
       Alcotest.(check (option int)) "queue" (Some 16) queue_limit
@@ -169,7 +169,12 @@ let protocol_parses () =
       Protocol.Shutdown;
       Protocol.Submit { label = "k7"; comm = 0.25; comp = 3.5; mem = 1.0; arrival = 9.0 };
       Protocol.Init
-        { capacity = 2.5; policy = Engine.Dynamic Dynamic_rules.MAMR; queue_limit = Some 9 };
+        {
+          capacity = 2.5;
+          policy = Engine.Dynamic Dynamic_rules.MAMR;
+          queue_limit = Some 9;
+          binary = false;
+        };
     ]
 
 let protocol_rejects_malformed () =
@@ -306,12 +311,13 @@ let tcp_end_to_end () =
    down whatever happened. The shutdown handshake retries: right after a
    test closes a connection the server may not have reaped it yet, so a
    max_conns-limited server can answer the first attempt ERR busy. *)
-let with_server ?pool ?max_conns ?idle_timeout f =
+let with_server ?pool ?backend ?max_conns ?max_output_bytes ?idle_timeout f =
   let server = Dt_runtime.Server.create ~port:0 () in
   let port = Dt_runtime.Server.port server in
   let domain =
     Domain.spawn (fun () ->
-        Dt_runtime.Server.run ?pool ?max_conns ?idle_timeout server)
+        Dt_runtime.Server.run ?pool ?backend ?max_conns ?max_output_bytes
+          ?idle_timeout server)
   in
   let finish () =
     let rec shutdown attempts =
@@ -366,6 +372,7 @@ let round_trip port =
                    capacity = 10.0;
                    policy = Engine.Corrected Corrected_rules.OOSCMR;
                    queue_limit = None;
+                   binary = false;
                  })));
       for i = 0 to 4 do
         ignore
@@ -536,8 +543,8 @@ let connection_limit () =
       Unix.sleepf 0.3;
       round_trip port)
 
-let idle_timeout_reaps () =
-  with_server ~idle_timeout:0.25 (fun port ->
+let idle_timeout_reaps ?backend () =
+  with_server ?backend ~idle_timeout:0.25 (fun port ->
       let fd = raw_connect port in
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -785,6 +792,348 @@ let single_shard_collapse () =
                       expect "STATS answer" "OK scheduled=";
                       expect "QUIT answer" "OK bye")))))
 
+(* ------------------- binary framing and backpressure ----------------- *)
+
+(* Arbitrary requests whose binary encoding must round-trip bit for bit
+   (floats compare exactly: the codec ships their IEEE-754 bits). *)
+let request_gen =
+  QCheck2.Gen.(
+    let nonneg = map (fun x -> float_of_int x /. 16.0) (int_range 0 100_000) in
+    (* labels are non-empty (as in the text grammar) but otherwise
+       arbitrary bytes: binary labels are not restricted to VCHAR *)
+    let label = string_size ~gen:printable (int_range 1 64) in
+    oneof
+      [
+        return Protocol.Poll;
+        return Protocol.Entries;
+        return Protocol.Stats;
+        return Protocol.Drain;
+        return Protocol.Quit;
+        return Protocol.Shutdown;
+        (let* label = label in
+         let* comm = nonneg and* comp = nonneg and* mem = nonneg
+         and* arrival = nonneg in
+         return (Protocol.Submit { label; comm; comp; mem; arrival }));
+        (let* capacity = map (fun x -> float_of_int x /. 8.0) (int_range 1 10_000) in
+         let* policy = oneofl Engine.all_policies in
+         let* queue_limit = opt (int_range 1 1_000_000) in
+         let* binary = bool in
+         return (Protocol.Init { capacity; policy; queue_limit; binary }));
+      ])
+
+let prop_binary_codec_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"binary codec: decode (encode requests) = requests"
+       QCheck2.Gen.(list_size (int_range 0 20) request_gen)
+       (fun requests ->
+         let frame = Protocol.encode_request_frame requests in
+         match Protocol.extract_frame frame ~pos:0 with
+         | Protocol.Frame (payload, used) when used = String.length frame -> (
+             match Protocol.decode_requests payload with
+             | Ok decoded when List.map Result.get_ok decoded = requests -> true
+             | Ok _ -> QCheck2.Test.fail_report "decoded requests differ"
+             | Error msg -> QCheck2.Test.fail_reportf "structural error: %s" msg)
+         | _ -> QCheck2.Test.fail_report "frame did not extract in one piece"))
+
+let binary_codec_edges () =
+  (* a truncated frame is Need_more at every cut point, never an error *)
+  let frame =
+    Protocol.encode_request_frame
+      [
+        Protocol.Submit
+          { label = "edge"; comm = 1.5; comp = 0.25; mem = 1.5; arrival = 0.0 };
+        Protocol.Poll;
+      ]
+  in
+  List.iter
+    (fun k ->
+      match Protocol.extract_frame (String.sub frame 0 k) ~pos:0 with
+      | Protocol.Need_more -> ()
+      | Protocol.Frame _ -> Alcotest.failf "prefix of %d bytes yielded a frame" k
+      | Protocol.Frame_error e ->
+          Alcotest.failf "prefix of %d bytes errored: %s" k e)
+    [ 0; 1; 3; 4; 5; String.length frame - 1 ];
+  (* a frame at the size bound round-trips; one past it is structural *)
+  let big_label = String.make 65_535 'x' in
+  let big k =
+    List.init k (fun i ->
+        Protocol.Submit
+          {
+            label = (if i = 0 then "small" else big_label);
+            comm = 1.0;
+            comp = 1.0;
+            mem = 1.0;
+            arrival = 0.0;
+          })
+  in
+  let fits = Protocol.encode_request_frame (big 15) in
+  Alcotest.(check bool) "a ~1 MiB frame stays within the bound" true
+    (String.length fits - 4 <= Protocol.max_frame_bytes);
+  (match Protocol.extract_frame fits ~pos:0 with
+  | Protocol.Frame (payload, _) -> (
+      match Protocol.decode_requests payload with
+      | Ok decoded ->
+          Alcotest.(check int) "max-length frame round-trips" 15
+            (List.length decoded);
+          Alcotest.(check bool) "all requests decode" true
+            (List.for_all Result.is_ok decoded)
+      | Error msg -> Alcotest.failf "max-length frame rejected: %s" msg)
+  | _ -> Alcotest.fail "max-length frame did not extract");
+  let oversized = Protocol.encode_request_frame (big 17) in
+  Alcotest.(check bool) "oversized declared length is structural" true
+    (match Protocol.extract_frame oversized ~pos:0 with
+    | Protocol.Frame_error _ -> true
+    | _ -> false);
+  (* a value error is recoverable: the bad request answers ERR parse and
+     the stream continues at the next request *)
+  let mixed =
+    Protocol.encode_request_frame
+      [
+        Protocol.Submit
+          { label = "bad"; comm = -1.0; comp = 1.0; mem = 1.0; arrival = 0.0 };
+        Protocol.Entries;
+      ]
+  in
+  (match Protocol.extract_frame mixed ~pos:0 with
+  | Protocol.Frame (payload, _) -> (
+      match Protocol.decode_requests payload with
+      | Ok [ Error _; Ok Protocol.Entries ] -> ()
+      | Ok other ->
+          Alcotest.failf "expected [Error; Ok Entries], got %d results"
+            (List.length other)
+      | Error msg -> Alcotest.failf "value error escalated to structural: %s" msg)
+  | _ -> Alcotest.fail "mixed frame did not extract");
+  (* unknown tags and truncated payloads are structural *)
+  Alcotest.(check bool) "unknown tag is structural" true
+    (Result.is_error (Protocol.decode_requests "Z"));
+  let sub_payload =
+    let f = Protocol.encode_request_frame [ List.nth (big 1) 0 ] in
+    String.sub f 4 (String.length f - 4)
+  in
+  Alcotest.(check bool) "truncated request payload is structural" true
+    (Result.is_error
+       (Protocol.decode_requests
+          (String.sub sub_payload 0 (String.length sub_payload - 3))))
+
+(* A whole session in binary mode via the Client switch-over, while a
+   plain text client shares the server: both protocols on one loop. *)
+let binary_round_trip port =
+  let conn = Dt_runtime.Client.connect ~port () in
+  Fun.protect
+    ~finally:(fun () -> Dt_runtime.Client.close conn)
+    (fun () ->
+      let init =
+        expect_ok "INIT binary"
+          (Dt_runtime.Client.request conn
+             (Protocol.Init
+                {
+                  capacity = 10.0;
+                  policy = Engine.Corrected Corrected_rules.OOSCMR;
+                  queue_limit = None;
+                  binary = true;
+                }))
+      in
+      Alcotest.(check bool) "INIT acknowledges binary mode" true
+        (let rec contains i =
+           i + 11 <= String.length init
+           && (String.sub init i 11 = "mode=binary" || contains (i + 1))
+         in
+         contains 0);
+      (* a pipelined window: one frame in, one response frame per request *)
+      let submits =
+        List.init 5 (fun i ->
+            Protocol.Submit
+              {
+                label = Printf.sprintf "b%d" i;
+                comm = 1.0;
+                comp = 0.5;
+                mem = 1.0;
+                arrival = 0.0;
+              })
+      in
+      let responses = Dt_runtime.Client.request_pipelined conn submits in
+      Alcotest.(check int) "one response per pipelined request" 5
+        (List.length responses);
+      List.iteri
+        (fun i response ->
+          match response with
+          | [ line ] ->
+              Alcotest.(check bool) "accepted in order" true
+                (starts_with (Printf.sprintf "OK accepted id=%d" i) line)
+          | _ -> Alcotest.fail "submit must answer exactly one line")
+        responses;
+      let drain = expect_ok "DRAIN" (Dt_runtime.Client.request conn Protocol.Drain) in
+      Alcotest.(check (option (float 0.0)))
+        "binary drain makespan" (Some 5.5)
+        (Dt_runtime.Client.response_field "makespan" drain);
+      (* a multi-line response is one frame: no announced-count parsing *)
+      (match Dt_runtime.Client.request conn Protocol.Entries with
+      | head :: entries ->
+          Alcotest.(check bool) "ENTRIES head" true (starts_with "OK n=5" head);
+          Alcotest.(check int) "all ENTRY lines in the frame" 5
+            (List.length entries)
+      | [] -> Alcotest.fail "empty ENTRIES response");
+      ignore (Dt_runtime.Client.request conn Protocol.Quit))
+
+let mixed_text_and_binary_clients () =
+  with_server (fun port ->
+      let text = Dt_runtime.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Dt_runtime.Client.close text)
+        (fun () ->
+          (* interleave: text INIT, whole binary session, then the text
+             session continues unharmed *)
+          ignore
+            (expect_ok "text INIT"
+               (Dt_runtime.Client.request_line text "INIT 10 OOSCMR"));
+          binary_round_trip port;
+          ignore
+            (expect_ok "text SUBMIT after binary neighbour"
+               (Dt_runtime.Client.request_line text "SUBMIT t 1 0.5 1"));
+          let drain =
+            expect_ok "text DRAIN" (Dt_runtime.Client.request text Protocol.Drain)
+          in
+          Alcotest.(check (option (float 0.0)))
+            "text session unaffected" (Some 1.5)
+            (Dt_runtime.Client.response_field "makespan" drain)))
+
+let partial_frame_reassembly () =
+  (* the negotiating INIT, then a frame of three SUBMITs, delivered one
+     byte at a time: the server must reassemble and answer exactly four
+     response frames (INIT + one per SUBMIT) *)
+  with_server (fun port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let submits =
+            List.init 3 (fun i ->
+                Protocol.Submit
+                  {
+                    label = Printf.sprintf "s%d" i;
+                    comm = 1.0;
+                    comp = 0.5;
+                    mem = 1.0;
+                    arrival = 0.0;
+                  })
+          in
+          let bytes =
+            "INIT 10 OOSCMR binary\n" ^ Protocol.encode_request_frame submits
+          in
+          String.iter
+            (fun ch ->
+              ignore (Unix.write_substring fd (String.make 1 ch) 0 1);
+              if Random.int 8 = 0 then Unix.sleepf 0.001)
+            bytes;
+          let ic = Unix.in_channel_of_descr fd in
+          let read_frame () =
+            let header = Bytes.create 4 in
+            really_input ic header 0 4;
+            let len =
+              (Char.code (Bytes.get header 0) lsl 24)
+              lor (Char.code (Bytes.get header 1) lsl 16)
+              lor (Char.code (Bytes.get header 2) lsl 8)
+              lor Char.code (Bytes.get header 3)
+            in
+            let payload = Bytes.create len in
+            really_input ic payload 0 len;
+            match Protocol.decode_responses (Bytes.to_string payload) with
+            | Ok lines -> lines
+            | Error msg -> Alcotest.failf "bad response frame: %s" msg
+          in
+          (match read_frame () with
+          | [ line ] ->
+              Alcotest.(check bool) "INIT answered in binary" true
+                (starts_with "OK capacity=10" line)
+          | _ -> Alcotest.fail "INIT: expected a single-line frame");
+          List.iteri
+            (fun i _ ->
+              match read_frame () with
+              | [ line ] ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "submit %d accepted" i)
+                    true
+                    (starts_with (Printf.sprintf "OK accepted id=%d" i) line)
+              | _ -> Alcotest.fail "SUBMIT: expected a single-line frame")
+            submits))
+
+let backpressure_closes_non_reader () =
+  (* a client that requests far more output than it reads: the server's
+     per-connection output queue is bounded — once a batch pushes the
+     pending bytes past the bound the connection is dropped, and the
+     rest of the server is unharmed *)
+  with_server ~max_output_bytes:65_536 (fun port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let oc = Unix.out_channel_of_descr fd in
+          let ic = Unix.in_channel_of_descr fd in
+          output_string oc "INIT 1000000 LCMR 100000\n";
+          flush oc;
+          ignore (input_line ic);
+          for i = 0 to 1999 do
+            Printf.fprintf oc "SUBMIT t%d 1 0.5 1\n" i
+          done;
+          flush oc;
+          for _ = 0 to 1999 do
+            ignore (input_line ic)
+          done;
+          output_string oc "DRAIN\n";
+          flush oc;
+          ignore (input_line ic);
+          (* after the drain, each ENTRIES response lists all 2000
+             entries (>100 KB); ask for 100 of them in one write and
+             read NONE of the ~16 MiB of output — far more than kernel
+             socket buffers can absorb, so the server's pending output
+             must cross the 64 KiB bound and the connection must be
+             dropped. Not reading means the drop is invisible until a
+             probe write lands on the closed socket (RST), so poll with
+             probes instead of reads. *)
+          for _ = 1 to 100 do
+            output_string oc "ENTRIES\n"
+          done;
+          flush oc;
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec probe () =
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail
+                "server kept the non-reading connection open past the \
+                 output bound"
+            else
+              match Unix.write_substring fd "STATS\n" 0 6 with
+              | _ ->
+                  Unix.sleepf 0.05;
+                  probe ()
+              | exception
+                  Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+                  ()
+          in
+          probe ());
+      (* the rest of the server is unharmed *)
+      round_trip port)
+
+let select_backend_round_trip () =
+  (* the portable fallback serves the same protocol, text and binary *)
+  with_server ~backend:`Select (fun port ->
+      round_trip port;
+      binary_round_trip port)
+
+let select_max_conns_rejected () =
+  let server = Dt_runtime.Server.create ~port:0 () in
+  (match
+     Dt_runtime.Server.run ~backend:`Select
+       ~max_conns:(Dt_runtime.Server.select_conn_limit + 1)
+       server
+   with
+  | () -> Alcotest.fail "select backend accepted max_conns over FD_SETSIZE"
+  | exception Invalid_argument _ -> ());
+  (* under the limit the validation passes (we only check it does not
+     raise before the loop: shut the server down immediately) *)
+  Alcotest.(check bool) "select fd limit is positive" true
+    (Dt_runtime.Server.select_conn_limit > 0)
+
 let client_survives_server_close () =
   (* writing into a dead server must raise, not SIGPIPE the process *)
   let server = Dt_runtime.Server.create ~port:0 () in
@@ -824,8 +1173,8 @@ let suite =
       engine_fault_is_contained;
     Alcotest.test_case "hostname resolution (localhost)" `Quick hostname_resolution;
     Alcotest.test_case "connection limit answers ERR busy" `Quick connection_limit;
-    Alcotest.test_case "idle timeout reaps silent connections" `Quick
-      idle_timeout_reaps;
+    Alcotest.test_case "idle timeout reaps silent connections" `Quick (fun () ->
+        idle_timeout_reaps ());
     Alcotest.test_case "pipelined requests keep order" `Quick pipelined_requests;
     Alcotest.test_case "SHUTDOWN drains with clients open" `Quick
       shutdown_drains_open_connections;
@@ -837,6 +1186,21 @@ let suite =
       shutdown_drains_all_shards;
     Alcotest.test_case "DTSCHED_DOMAINS=1 collapses to one shard" `Quick
       single_shard_collapse;
+    prop_binary_codec_roundtrip;
+    Alcotest.test_case "binary codec: truncation, bounds, recovery" `Quick
+      binary_codec_edges;
+    Alcotest.test_case "mixed text and binary clients coexist" `Quick
+      mixed_text_and_binary_clients;
+    Alcotest.test_case "partial binary frames reassemble across reads" `Quick
+      partial_frame_reassembly;
+    Alcotest.test_case "backpressure closes a non-reading client" `Quick
+      backpressure_closes_non_reader;
+    Alcotest.test_case "select backend serves text and binary" `Quick
+      select_backend_round_trip;
+    Alcotest.test_case "select backend on idle timeout" `Quick (fun () ->
+        idle_timeout_reaps ~backend:`Select ());
+    Alcotest.test_case "select backend rejects max_conns over FD_SETSIZE" `Quick
+      select_max_conns_rejected;
     Alcotest.test_case "client survives server close (SIGPIPE)" `Quick
       client_survives_server_close;
   ]
