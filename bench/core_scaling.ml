@@ -196,6 +196,7 @@ let run () =
     exp_offline exp_online (pp_speedup sp_offline) (pp_speedup sp_online);
   Provenance.write_artifact ~path:"BENCH_core.json" ~experiment:"core-scaling"
     (fun oc ->
+      Reuse.fields oc;
       Printf.fprintf oc
         "  \"fast_mode\": %b,\n  \"offline_policies\": %d,\n\
         \  \"online_policy\": \"%s\",\n  \"arrival_load\": 2.0,\n  \"points\": [\n"

@@ -35,6 +35,7 @@ let experiments =
     ("online", Online.run);
     ("core", Core_scaling.run);
     ("core-smoke", Core_scaling.smoke);
+    ("reuse", Reuse.run);
   ]
 
 let () =

@@ -103,6 +103,22 @@ EXPERIMENTS=core-smoke dune exec bench/main.exe
 echo "== BENCH_core.json =="
 cat BENCH_core.json
 
+echo "== residency reuse gates =="
+# The tile residency model must actually hit (reuse_hit_rate > 0) and
+# must never lose to the no-sharing baseline at any reuse factor: the
+# replay arm of the sweep makes cached <= no-sharing structural, so a
+# failure here means the residency accounting itself broke.
+grep -q '"hit_rate_positive": true' BENCH_core.json || {
+  echo "FAIL: residency sweep recorded a zero hit rate (see BENCH_core.json)" >&2
+  exit 1
+}
+grep -q '"cached_never_worse": true' BENCH_core.json || {
+  echo "FAIL: cached makespan exceeded the no-sharing baseline (see BENCH_core.json)" >&2
+  exit 1
+}
+hit=$(grep -o '"reuse_hit_rate": *[0-9.]*' BENCH_core.json | grep -o '[0-9.]*$' || echo 0)
+echo "reuse gates OK: hit rate up to ${hit}, cached never worse than no-sharing"
+
 echo "== scaling experiment (fast workload) =="
 EXPERIMENTS=scaling DTSCHED_FAST=1 dune exec bench/main.exe
 

@@ -1,14 +1,26 @@
 open Dt_ga
 
 (* Deterministic per-item hash used to decide screening and tile draws
-   consistently across processes. *)
+   consistently across processes. The stream depends only on
+   [(seed, index)] — same seed, same trace. *)
 let item_rng seed index =
-  let r = Dt_stats.Rng.create (seed * 1_000_003) in
-  let r = Dt_stats.Rng.split r in
+  let r = Dt_stats.Rng.create ((seed * 97) lxor (index * 2_654_435_761)) in
   ignore (Dt_stats.Rng.bits64 r);
-  let r2 = Dt_stats.Rng.create ((seed * 97) lxor (index * 2_654_435_761)) in
-  ignore (Dt_stats.Rng.bits64 r2);
-  r2
+  r
+
+(* Tile annotations: carve the task's (comm, mem) totals into shares
+   attributed to named remote tiles. [bytes] is the task's total traffic
+   and [refs] the remote tiles within it as [(tile id, tile bytes)], so
+   each tile's transfer share is proportional and the shares can never
+   exceed the totals. The totals themselves are untouched — annotation-
+   blind executors see exactly the task they always saw. *)
+let tile_refs ~comm ~bytes refs =
+  if bytes <= 0.0 then []
+  else
+    List.map
+      (fun (tid, tb) ->
+        { Dt_core.Task.tile = tid; t_comm = comm *. (tb /. bytes); t_mem = tb })
+      refs
 
 (* ------------------------------------------------------------------ *)
 (* Hartree-Fock                                                        *)
@@ -31,6 +43,11 @@ let hf_quartet_task ~cluster ~garray ~seed ~proc ~index ~id (p1_row, p1_col) (p2
     +. aux_block_bytes
   in
   let comm = Cluster.comm_time cluster ~bytes in
+  (* Only the whole density tile D(p2) is shareable between quartets; the
+     strip of D(p1) and the index block are task-private. *)
+  let tiles =
+    tile_refs ~comm ~bytes (Garray.remote_tiles garray ~proc [ tile_id p2_row p2_col ])
+  in
   let dims i = Dt_tensor.Tile.tile_size (Garray.tile garray i) in
   let pair_elems = dims (tile_id p1_row p1_col) in
   (* Screened digestion is proportional to the output tile; unscreened
@@ -45,7 +62,7 @@ let hf_quartet_task ~cluster ~garray ~seed ~proc ~index ~id (p1_row, p1_col) (p2
   let comp = Cluster.comp_time cluster ~flops:(digestion +. integral_flops) in
   Dt_core.Task.make
     ~label:(Printf.sprintf "hf-q%d" index)
-    ~mem:bytes ~id ~comm ~comp ()
+    ~mem:bytes ~tiles ~id ~comm ~comp ()
 
 let hf_garray ~cluster ~nbf ~tile =
   let tiling = Dt_tensor.Tile.uniform ~dim:nbf ~tile in
@@ -142,27 +159,48 @@ let ccsd_arrays ~cluster ~seed ~n_occ ~n_virt =
     v_ooov = mk [| o1; o2; o1; v1 |];
   }
 
+(* Global tile-id space over the five arrays, so a tile reference names
+   one tile of one array unambiguously within a trace. *)
+type ccsd_bases = {
+  b_t2 : int;
+  b_oovv : int;
+  b_ovvv : int;
+  b_vvvv : int;
+  b_ooov : int;
+}
+
+let ccsd_bases arrays =
+  let b_t2 = 0 in
+  let b_oovv = b_t2 + Garray.ntiles arrays.t2 in
+  let b_ovvv = b_oovv + Garray.ntiles arrays.v_oovv in
+  let b_vvvv = b_ovvv + Garray.ntiles arrays.v_ovvv in
+  let b_ooov = b_vvvv + Garray.ntiles arrays.v_vvvv in
+  { b_t2; b_oovv; b_ovvv; b_vvvv; b_ooov }
+
 (* One CCSD task: an amplitude-update term instantiated on random tiles.
    Communication = remote input blocks; computation = 2 * |output| * |k|
    for contractions, |block| for transposes. *)
-let ccsd_task ~cluster ~arrays ~rng ~proc ~id =
+let ccsd_task ~cluster ~arrays ~bases ~rng ~proc ~id =
   let pick_tile g = Dt_stats.Rng.int rng (Garray.ntiles g) in
   let tile_elems g i = Dt_tensor.Tile.tile_size (Garray.tile g i) in
   let fetch g i = Garray.fetch_bytes g ~proc [ i ] in
+  let remote base g i =
+    List.map (fun (t, b) -> (base + t, b)) (Garray.remote_tiles g ~proc [ i ])
+  in
   let kind = Dt_stats.Rng.float rng 1.0 in
-  let label, bytes, flops =
+  let label, bytes, flops, refs =
     if kind < 0.52 then begin
       (* tensor transpose / reorder of a T2 or V block: pure data movement,
          the communication-intensive half of the stream *)
-      let g =
+      let g, base =
         match Dt_stats.Rng.int rng 3 with
-        | 0 -> arrays.t2
-        | 1 -> arrays.v_oovv
-        | _ -> arrays.v_ovvv
+        | 0 -> (arrays.t2, bases.b_t2)
+        | 1 -> (arrays.v_oovv, bases.b_oovv)
+        | _ -> (arrays.v_ovvv, bases.b_ovvv)
       in
       let i = pick_tile g in
       let elems = float_of_int (tile_elems g i) in
-      ("ccsd-tr", fetch g i, elems *. (2.0 +. Dt_stats.Rng.float rng 2.0))
+      ("ccsd-tr", fetch g i, elems *. (2.0 +. Dt_stats.Rng.float rng 2.0), remote base g i)
     end
     else if kind < 0.62 then begin
       (* Wmnij-type: <oo||ov> x t1 / small o-space contractions *)
@@ -170,7 +208,7 @@ let ccsd_task ~cluster ~arrays ~rng ~proc ~id =
       let i = pick_tile g in
       let elems = float_of_int (tile_elems g i) in
       let k = 400.0 +. Dt_stats.Rng.float rng 1200.0 in
-      ("ccsd-oo", fetch g i +. 65_536.0, 2.0 *. elems *. k)
+      ("ccsd-oo", fetch g i +. 65_536.0, 2.0 *. elems *. k, remote bases.b_ooov g i)
     end
     else if kind < 0.82 then begin
       (* Wmbej-type: t2 x v_oovv, contracted over an (o, v) tile pair *)
@@ -180,7 +218,8 @@ let ccsd_task ~cluster ~arrays ~rng ~proc ~id =
       let k = float_of_int (dims.(0).Dt_tensor.Tile.length * dims.(2).Dt_tensor.Tile.length) in
       ( "ccsd-ov",
         fetch arrays.t2 i +. fetch arrays.v_oovv j,
-        2.0 *. out *. k *. (0.06 +. Dt_stats.Rng.float rng 0.075) )
+        2.0 *. out *. k *. (0.06 +. Dt_stats.Rng.float rng 0.075),
+        remote bases.b_t2 arrays.t2 i @ remote bases.b_oovv arrays.v_oovv j )
     end
     else if kind < 0.965 then begin
       (* ring/ladder terms against <ov||vv> *)
@@ -190,7 +229,8 @@ let ccsd_task ~cluster ~arrays ~rng ~proc ~id =
       let k = float_of_int dims.(1).Dt_tensor.Tile.length in
       ( "ccsd-sv",
         fetch arrays.t2 i +. fetch arrays.v_ovvv j,
-        2.0 *. out *. k *. (1.8 +. Dt_stats.Rng.float rng 1.8) )
+        2.0 *. out *. k *. (1.8 +. Dt_stats.Rng.float rng 1.8),
+        remote bases.b_t2 arrays.t2 i @ remote bases.b_ovvv arrays.v_ovvv j )
     end
     else begin
       (* particle ladder: tau x <vv||vv>, the gigabyte-scale blocks. Most
@@ -205,19 +245,23 @@ let ccsd_task ~cluster ~arrays ~rng ~proc ~id =
         if Dt_stats.Rng.float rng 1.0 < 0.8 then 0.08 +. Dt_stats.Rng.float rng 0.10
         else 0.30 +. Dt_stats.Rng.float rng 0.30
       in
-      ("ccsd-vv", fetch arrays.t2 i +. fetch arrays.v_vvvv j, 2.0 *. out *. k *. factor)
+      ( "ccsd-vv",
+        fetch arrays.t2 i +. fetch arrays.v_vvvv j,
+        2.0 *. out *. k *. factor,
+        remote bases.b_t2 arrays.t2 i @ remote bases.b_vvvv arrays.v_vvvv j )
     end
   in
   let comm = Cluster.comm_time cluster ~bytes in
   let comp = Cluster.comp_time cluster ~flops in
-  Dt_core.Task.make ~label:(Printf.sprintf "%s%d" label id) ~mem:bytes ~id ~comm ~comp ()
+  let tiles = tile_refs ~comm ~bytes refs in
+  Dt_core.Task.make ~label:(Printf.sprintf "%s%d" label id) ~mem:bytes ~tiles ~id ~comm ~comp ()
 
 (* The dominant symmetry block: every trace contains a couple of
    "monster" contractions touching the largest four-virtual-index tile
    (memory requirement = the trace's m_c) with a computation of the same
    magnitude. Their placement is what separates schedulers that exploit
    static knowledge from purely greedy ones. *)
-let ccsd_monster ~cluster ~arrays ~rng ~proc ~id =
+let ccsd_monster ~cluster ~arrays ~bases ~rng ~proc ~id =
   let largest g =
     let best = ref 0 in
     for i = 0 to Garray.ntiles g - 1 do
@@ -232,19 +276,29 @@ let ccsd_monster ~cluster ~arrays ~rng ~proc ~id =
   in
   let comm = Cluster.comm_time cluster ~bytes in
   let comp = comm *. (1.4 +. Dt_stats.Rng.float rng 1.0) in
+  (* The monster streams the full <vv||vv> tile whether or not it is
+     local, so that tile is always annotated. *)
+  let refs =
+    (bases.b_vvvv + j, float_of_int (Garray.tile_bytes arrays.v_vvvv j))
+    :: List.map
+         (fun (t, b) -> (bases.b_t2 + t, b))
+         (Garray.remote_tiles arrays.t2 ~proc [ i ])
+  in
+  let tiles = tile_refs ~comm ~bytes refs in
   Dt_core.Task.make
     ~label:(Printf.sprintf "ccsd-mn%d" id)
-    ~mem:bytes ~id ~comm ~comp ()
+    ~mem:bytes ~tiles ~id ~comm ~comp ()
 
 let ccsd_tasks ?(seed = 11) ~cluster ~n_occ ~n_virt ~proc () =
   if n_occ < 4 || n_virt < 8 then invalid_arg "Workload.ccsd: dimensions too small";
   let arrays = ccsd_arrays ~cluster ~seed ~n_occ ~n_virt in
+  let bases = ccsd_bases arrays in
   let rng = item_rng seed (proc + 1) in
   let count = 300 + Dt_stats.Rng.int rng 501 in
   let slot1 = Dt_stats.Rng.int rng count and slot2 = Dt_stats.Rng.int rng count in
   List.init count (fun id ->
-      if id = slot1 || id = slot2 then ccsd_monster ~cluster ~arrays ~rng ~proc ~id
-      else ccsd_task ~cluster ~arrays ~rng ~proc ~id)
+      if id = slot1 || id = slot2 then ccsd_monster ~cluster ~arrays ~bases ~rng ~proc ~id
+      else ccsd_task ~cluster ~arrays ~bases ~rng ~proc ~id)
 
 let ccsd_trace_set ?seed ~cluster ~n_occ ~n_virt () =
   Array.init (Cluster.processes cluster) (fun proc ->

@@ -21,7 +21,17 @@
       and computations are roughly balanced in aggregate, with a wide mix
       of both task types.
 
-    Every stream is deterministic in [(seed, proc)]. *)
+    Every stream is deterministic in [(seed, proc)]: the same seed
+    produces the identical trace, tile annotations included.
+
+    Tasks carry {!Dt_core.Task.tile_ref} annotations naming the remote
+    Global Array tiles behind their traffic (the whole density tile for
+    HF quartets; every remote input block for CCSD terms, with tile ids
+    globalised across the five arrays). The shares are proportional
+    carve-outs of the unchanged [(comm, mem)] totals, so annotation-blind
+    executors see exactly the stream they always saw, while the residency
+    model ({!Dt_core.Residency}) can exploit inter-task reuse. No stream
+    emits write-backs. *)
 
 val hf_tasks :
   ?tile:int ->

@@ -1,0 +1,80 @@
+(** Tile residency: the processing unit's memory as a cache of named
+    shared tiles (ROADMAP "data-aware memory model"; the paper's
+    perspectives section flags data reuse as the next modelling step).
+
+    A tile fetched by a task stays {e resident} after the task completes
+    instead of being freed with the task's private memory. A later task
+    referencing the same tile hits the cache: its transfer share costs
+    nothing and its memory share is already charged. Tiles referenced by
+    in-flight tasks are {e pinned} and cannot be evicted; unpinned tiles
+    are evicted on demand by a pluggable policy when a new task needs the
+    memory. Eviction costs nothing now — the price is the refetch if the
+    tile is referenced again. *)
+
+type policy =
+  | Lru          (** evict the least recently used unpinned tile *)
+  | Min_refetch  (** evict the unpinned tile cheapest to fetch again
+                     (smallest communication share), ties by recency *)
+
+val all_policies : policy list
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  hit_comm : float;  (** transfer time saved by cache hits *)
+  miss_comm : float; (** transfer time paid on misses *)
+}
+
+type t
+
+val create : ?policy:policy -> unit -> t
+(** An empty residency set (default policy {!Lru}). *)
+
+val policy : t -> policy
+val resident_bytes : t -> float
+(** Memory currently held by resident tiles (pinned or not). *)
+
+val pinned_bytes : t -> float
+(** Memory held by tiles with at least one pin. *)
+
+val evictable_bytes : t -> float
+(** [resident_bytes - pinned_bytes]: reclaimable on demand. *)
+
+val resident_tiles : t -> int
+val is_resident : t -> int -> bool
+val pin_count : t -> int -> int
+val stats : t -> stats
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.] before any reference. *)
+
+val touch : t -> Task.tile_ref -> [ `Hit | `Miss ]
+(** Reference a tile at a task's communication start: a resident tile is
+    a hit, an absent one is admitted (miss). Pins the tile either way;
+    the caller must {!unpin} it at the task's computation end. On a miss
+    the tile's memory is charged to {!resident_bytes}. *)
+
+val unpin : t -> int -> unit
+(** Release one pin. Raises [Invalid_argument] if the tile is not
+    resident or not pinned. *)
+
+val admit_write : t -> Task.tile_ref -> unit
+(** Record a completed write-back: the output tile becomes resident
+    (unpinned); its memory moves from the task's private share into the
+    cache. Refreshes recency if the tile was already resident. *)
+
+val evict_candidate : t -> int option
+(** The unpinned tile the policy would evict next ([None] when every
+    resident tile is pinned). Deterministic: ties break by recency and
+    tile id, never by hash order. *)
+
+val evict : t -> int -> unit
+(** Remove an unpinned resident tile. Raises [Invalid_argument] if the
+    tile is absent or pinned. *)
+
+val evict_down_to : t -> float -> float
+(** [evict_down_to t b]: evict victims until at most [b] evictable bytes
+    remain (or nothing is evictable); returns the bytes freed. *)

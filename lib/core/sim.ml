@@ -200,3 +200,183 @@ let run_two_orders ?state ~capacity ~comm_order comp_order =
     in
     drive ()
   with Stop e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Residency-aware (cached) execution: the unit's memory doubles as a
+   cache of named shared tiles.  A tile fetched by a task stays resident
+   after the task's computation ends; a later task referencing it pays no
+   transfer for that share (hit) and no new memory.  Unpinned resident
+   tiles are evicted on demand — eviction is free now, the cost is the
+   refetch if the tile is needed again, so a cached run can never be
+   blocked by cache residue.  With no tile annotations anywhere this
+   executor performs exactly the arithmetic of [schedule_task], in the
+   same order: bit-identity to the flat model (QCheck-pinned). *)
+
+type cached_event = {
+  ev_time : float;               (* computation or write-back end *)
+  ev_free : float;               (* private memory released *)
+  ev_unpin : int list;           (* input tiles unpinned *)
+  ev_admit : Task.tile_ref list; (* write-backs becoming resident *)
+}
+
+type cached_state = {
+  cbase : state; (* link/cpu clocks + private memory in use; its
+                    [releases] queue is unused — [cevents] replaces it,
+                    carrying unpins and write-back admissions too *)
+  cres : Residency.t;
+  cevents : cached_event Queue.t; (* pushed in nondecreasing time order *)
+}
+
+let cached_state ?policy () =
+  { cbase = initial_state (); cres = Residency.create ?policy (); cevents = Queue.create () }
+
+let cached_residency cs = cs.cres
+let cached_link_free cs = cs.cbase.link_free
+let cached_cpu_free cs = cs.cbase.cpu_free
+
+let cached_memory_in_use cs = cs.cbase.used +. Residency.resident_bytes cs.cres
+
+let apply_cached_event cs ev =
+  cs.cbase.used <- cs.cbase.used -. ev.ev_free;
+  List.iter (Residency.unpin cs.cres) ev.ev_unpin;
+  List.iter (Residency.admit_write cs.cres) ev.ev_admit
+
+let process_cached_until cs time =
+  let rec loop () =
+    match Queue.peek_opt cs.cevents with
+    | Some ev when ev.ev_time <= time ->
+        ignore (Queue.pop cs.cevents);
+        apply_cached_event cs ev;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let settle_cached cs = process_cached_until cs cs.cbase.link_free
+
+let cached_advance_to_next_event cs =
+  match Queue.take_opt cs.cevents with
+  | None -> false
+  | Some ev ->
+      apply_cached_event cs ev;
+      if ev.ev_time > cs.cbase.link_free then cs.cbase.link_free <- ev.ev_time;
+      true
+
+let sum_ref_comm refs = List.fold_left (fun a (r : Task.tile_ref) -> a +. r.Task.t_comm) 0.0 refs
+let sum_ref_mem refs = List.fold_left (fun a (r : Task.tile_ref) -> a +. r.Task.t_mem) 0.0 refs
+
+(* Transfer time the task would actually pay right now: the full comm
+   minus the shares of its currently-resident tiles. *)
+let effective_comm cs (task : Task.t) =
+  match task.Task.tiles with
+  | [] -> task.Task.comm
+  | tiles ->
+      let saved =
+        List.fold_left
+          (fun a (r : Task.tile_ref) ->
+            if Residency.is_resident cs.cres r.Task.tile then a +. r.Task.t_comm else a)
+          0.0 tiles
+      in
+      Float.max 0.0 (task.Task.comm -. saved)
+
+(* Could the task start right now, allowing on-demand eviction of every
+   unpinned tile it does not read itself?  The minimum achievable usage
+   is: private memory in use + pinned tiles + the task's own resident
+   unpinned tiles (kept, they are about to be pinned) + the memory it
+   still has to bring in. *)
+let cached_fits_now cs ~kcap (task : Task.t) =
+  settle_cached cs;
+  let resident_t, resident_unpinned_t =
+    List.fold_left
+      (fun (res_m, unp_m) (r : Task.tile_ref) ->
+        if Residency.is_resident cs.cres r.Task.tile then
+          ( res_m +. r.Task.t_mem,
+            if Residency.pin_count cs.cres r.Task.tile = 0 then unp_m +. r.Task.t_mem
+            else unp_m )
+        else (res_m, unp_m))
+      (0.0, 0.0) task.Task.tiles
+  in
+  cs.cbase.used +. Residency.pinned_bytes cs.cres +. resident_unpinned_t
+  +. (task.Task.mem -. resident_t)
+  <= kcap
+
+let schedule_task_cached cs ~capacity (task : Task.t) =
+  let st = cs.cbase and res = cs.cres in
+  if task.Task.mem > capacity *. (1.0 +. 1e-12) then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_task_cached: task %d needs %g > capacity %g"
+         task.Task.id task.Task.mem capacity);
+  let kcap = capacity *. (1.0 +. 1e-12) in
+  process_cached_until cs st.link_free;
+  (* Pin the tiles that are resident right now, before any eviction below
+     could throw them out; the rest is classified as missing and admitted
+     once the memory fit is secured. *)
+  let hit_now, miss_now =
+    List.partition
+      (fun (r : Task.tile_ref) -> Residency.is_resident res r.Task.tile)
+      task.Task.tiles
+  in
+  List.iter (fun r -> ignore (Residency.touch res r)) hit_now;
+  let need = task.Task.mem -. sum_ref_mem hit_now in
+  let start = ref st.link_free in
+  while st.used +. Residency.resident_bytes res +. need > kcap do
+    (* evicting an unpinned tile is free; waiting for a release is not *)
+    match Residency.evict_candidate res with
+    | Some tile -> Residency.evict res tile
+    | None -> (
+        match Queue.take_opt cs.cevents with
+        | None -> assert false (* task.mem <= capacity, so memory must free up *)
+        | Some ev ->
+            apply_cached_event cs ev;
+            if ev.ev_time > !start then start := ev.ev_time)
+  done;
+  (* Admit the missing tiles; one may have become resident through a
+     write-back processed while waiting — then it hits after all. *)
+  let eff = ref task.Task.comm in
+  List.iter (fun (r : Task.tile_ref) -> eff := !eff -. r.Task.t_comm) hit_now;
+  List.iter
+    (fun (r : Task.tile_ref) ->
+      match Residency.touch res r with
+      | `Hit -> eff := !eff -. r.Task.t_comm
+      | `Miss -> ())
+    miss_now;
+  let eff = if task.Task.tiles = [] then task.Task.comm else Float.max 0.0 !eff in
+  let s_comm = !start in
+  let comm_end = s_comm +. eff in
+  let s_comp = Float.max comm_end st.cpu_free in
+  let comp_end = s_comp +. task.Task.comp in
+  let tiles_mem = sum_ref_mem task.Task.tiles in
+  let writes_mem = sum_ref_mem task.Task.writes in
+  (* input-tile shares now live in the cache; only the private remainder
+     is charged to (and released from) the task itself *)
+  st.used <- st.used +. (task.Task.mem -. tiles_mem);
+  st.link_free <- comm_end;
+  st.cpu_free <- comp_end;
+  Queue.push
+    {
+      ev_time = comp_end;
+      ev_free = task.Task.mem -. tiles_mem -. writes_mem;
+      ev_unpin = List.map (fun (r : Task.tile_ref) -> r.Task.tile) task.Task.tiles;
+      ev_admit = [];
+    }
+    cs.cevents;
+  if task.Task.writes <> [] then begin
+    (* the result streams back over the same link after the computation;
+       the written tiles then become resident (write-allocate) *)
+    let wb_end = comp_end +. sum_ref_comm task.Task.writes in
+    if wb_end > st.link_free then st.link_free <- wb_end;
+    Queue.push
+      { ev_time = wb_end; ev_free = writes_mem; ev_unpin = []; ev_admit = task.Task.writes }
+      cs.cevents
+  end;
+  { Schedule.task = Task.charged task ~comm:eff; s_comm; s_comp }
+
+let run_order_cached ?cstate ?policy ~capacity tasks =
+  let cs = match cstate with Some c -> c | None -> cached_state ?policy () in
+  let rec loop acc = function
+    | [] -> Ok (Schedule.make ~capacity (List.rev acc), Residency.stats cs.cres)
+    | t :: rest ->
+        if t.Task.mem > capacity *. (1.0 +. 1e-12) then Error t
+        else loop (schedule_task_cached cs ~capacity t :: acc) rest
+  in
+  loop [] tasks

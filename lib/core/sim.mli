@@ -93,3 +93,71 @@ val run_two_orders :
     distinct link and processor orders ([comp_order] must be a permutation
     of [comm_order]). Used by the exact solver and by the MILP decoder,
     where the two orders may legitimately differ. *)
+
+(** {1 Residency-aware (cached) execution}
+
+    The tile-aware variant of the executor: the unit's memory doubles as
+    a cache of the named shared tiles the tasks reference (see
+    {!Task.tile_ref} and {!Residency}). A resident tile costs no transfer
+    (its [t_comm] share is skipped) and no new memory; missing tiles are
+    fetched and stay resident after the task completes; unpinned tiles
+    are evicted on demand by the residency policy, so cache residue never
+    delays a task. Tasks with [writes] stream their output tiles back
+    over the link after the computation and the written tiles become
+    resident.
+
+    On tasks without tile annotations this path performs exactly the
+    arithmetic of {!schedule_task} in the same order — schedules are
+    bit-identical to the flat model (QCheck-pinned in the test suite).
+
+    Entries record the task as {!Task.charged} with the effective
+    (post-hit) transfer time, so makespans reflect the cache. Schedule
+    validity under {!Schedule.check} is only meaningful for runs without
+    write-backs (the write transfer is not part of the entry's
+    communication interval). *)
+
+type cached_state
+
+val cached_state : ?policy:Residency.policy -> unit -> cached_state
+(** Fresh clocks, empty memory, empty residency set (default {!Residency.Lru}). *)
+
+val cached_residency : cached_state -> Residency.t
+val cached_link_free : cached_state -> float
+val cached_cpu_free : cached_state -> float
+
+val cached_memory_in_use : cached_state -> float
+(** Private memory of in-flight tasks plus resident tile bytes, {e before}
+    processing any pending event. *)
+
+val settle_cached : cached_state -> unit
+(** Process every completion/write-back event up to the link-free instant
+    (the cached analogue of {!settle}). *)
+
+val cached_advance_to_next_event : cached_state -> bool
+(** Move the link availability to the next completion or write-back event
+    (used by decision loops when no pending task fits). Returns [false]
+    when there is no pending event. *)
+
+val effective_comm : cached_state -> Task.t -> float
+(** The transfer time the task would pay right now: [comm] minus the
+    shares of its currently-resident tiles, clamped at [0.]. *)
+
+val cached_fits_now : cached_state -> kcap:float -> Task.t -> bool
+(** Could the task's communication start at the link-free instant,
+    counting on-demand eviction of every unpinned tile the task does not
+    reference itself? Settles pending events as a side effect. *)
+
+val schedule_task_cached : cached_state -> capacity:float -> Task.t -> Schedule.entry
+(** Start the task's communication at the earliest fitting instant
+    (evicting unpinned tiles before waiting for releases), then its
+    computation, then its write-backs. Raises [Invalid_argument] when the
+    task alone exceeds the capacity. *)
+
+val run_order_cached :
+  ?cstate:cached_state ->
+  ?policy:Residency.policy ->
+  capacity:float ->
+  Task.t list ->
+  (Schedule.t * Residency.stats, Task.t) result
+(** Execute the tasks in the given order under the residency model.
+    [Error t] when task [t] exceeds the capacity by itself. *)

@@ -50,6 +50,11 @@ let fetch_bytes t ~proc tiles =
     (fun acc i -> if is_local t ~proc i then acc else acc +. float_of_int (tile_bytes t i))
     0.0 tiles
 
+let remote_tiles t ~proc tiles =
+  List.filter_map
+    (fun i -> if is_local t ~proc i then None else Some (i, float_of_int (tile_bytes t i)))
+    tiles
+
 let remote_fraction t ~proc =
   let total = ref 0.0 and remote = ref 0.0 in
   Array.iteri

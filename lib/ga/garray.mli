@@ -40,6 +40,11 @@ val fetch_bytes : t -> proc:int -> int list -> float
 (** Total bytes process [proc] must transfer to obtain the given tiles
     (local tiles contribute nothing). *)
 
+val remote_tiles : t -> proc:int -> int list -> (int * float) list
+(** The sublist of the given tiles that are remote to [proc], each paired
+    with its size in bytes; {!fetch_bytes} is the sum of the returned
+    sizes. *)
+
 val remote_fraction : t -> proc:int -> float
 (** Fraction of this array's bytes that are remote to [proc]; in a
     balanced distribution over [P] processes this approaches

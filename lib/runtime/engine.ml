@@ -66,6 +66,10 @@ type t = {
 let create ?(policy = Corrected Corrected_rules.OOSCMR) ?(queue_limit = 65536)
     ~capacity () =
   if not (capacity > 0.0) then invalid_arg "Engine.create: capacity must be positive";
+  (* [float_of_string "inf"] passes the positivity check above but makes
+     every task fit; reject it explicitly *)
+  if not (Float.is_finite capacity) then
+    invalid_arg "Engine.create: capacity must be finite";
   if queue_limit <= 0 then invalid_arg "Engine.create: queue_limit must be positive";
   let task_id (t : Task.t) = t.Task.id in
   {

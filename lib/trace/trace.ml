@@ -12,14 +12,44 @@ let to_instance t ~capacity = Dt_core.Instance.make_keep_ids ~capacity t.tasks
 let min_capacity t =
   List.fold_left (fun acc (tk : Dt_core.Task.t) -> Float.max acc tk.Dt_core.Task.mem) 0.0 t.tasks
 
+(* v2 records append two tile-reference columns (inputs, write-backs):
+   comma-separated [tile:comm:mem] triples, [-] when empty. Traces whose
+   tasks carry no tile annotations are written in the v1 format, which
+   older readers still understand. *)
+let refs_field refs =
+  match refs with
+  | [] -> "-"
+  | refs ->
+      String.concat ","
+        (List.map
+           (fun (r : Dt_core.Task.tile_ref) ->
+             Printf.sprintf "%d:%.17g:%.17g" r.Dt_core.Task.tile r.Dt_core.Task.t_comm
+               r.Dt_core.Task.t_mem)
+           refs)
+
 let write oc t =
-  Printf.fprintf oc "# dtsched-trace v1 %s\n" t.name;
-  Printf.fprintf oc "# id\tlabel\tcomm\tcomp\tmem\n";
-  List.iter
-    (fun (tk : Dt_core.Task.t) ->
-      Printf.fprintf oc "%d\t%s\t%.17g\t%.17g\t%.17g\n" tk.Dt_core.Task.id tk.Dt_core.Task.label
-        tk.Dt_core.Task.comm tk.Dt_core.Task.comp tk.Dt_core.Task.mem)
-    t.tasks
+  let tiled = List.exists Dt_core.Task.has_tiles t.tasks in
+  if tiled then begin
+    Printf.fprintf oc "# dtsched-trace v2 %s\n" t.name;
+    Printf.fprintf oc "# id\tlabel\tcomm\tcomp\tmem\ttiles\twrites\n";
+    List.iter
+      (fun (tk : Dt_core.Task.t) ->
+        Printf.fprintf oc "%d\t%s\t%.17g\t%.17g\t%.17g\t%s\t%s\n" tk.Dt_core.Task.id
+          tk.Dt_core.Task.label tk.Dt_core.Task.comm tk.Dt_core.Task.comp
+          tk.Dt_core.Task.mem (refs_field tk.Dt_core.Task.tiles)
+          (refs_field tk.Dt_core.Task.writes))
+      t.tasks
+  end
+  else begin
+    Printf.fprintf oc "# dtsched-trace v1 %s\n" t.name;
+    Printf.fprintf oc "# id\tlabel\tcomm\tcomp\tmem\n";
+    List.iter
+      (fun (tk : Dt_core.Task.t) ->
+        Printf.fprintf oc "%d\t%s\t%.17g\t%.17g\t%.17g\n" tk.Dt_core.Task.id
+          tk.Dt_core.Task.label tk.Dt_core.Task.comm tk.Dt_core.Task.comp
+          tk.Dt_core.Task.mem)
+      t.tasks
+  end
 
 type parse_error = { line : int; message : string }
 
@@ -40,39 +70,79 @@ let read_result ic =
           header
       | exception End_of_file -> fail "empty stream"
     in
-    let name =
+    let version, name =
       match String.split_on_char ' ' header with
-      | "#" :: "dtsched-trace" :: "v1" :: rest when rest <> [] -> String.concat " " rest
-      | _ -> fail "bad header (expected '# dtsched-trace v1 <name>')"
+      | "#" :: "dtsched-trace" :: "v1" :: rest when rest <> [] -> (1, String.concat " " rest)
+      | "#" :: "dtsched-trace" :: "v2" :: rest when rest <> [] -> (2, String.concat " " rest)
+      | _ -> fail "bad header (expected '# dtsched-trace v1|v2 <name>')"
+    in
+    let num what s =
+      match float_of_string_opt s with
+      | Some v when Float.is_nan v -> fail (what ^ ": NaN is not a value")
+      | Some v when not (Float.is_finite v) ->
+          fail (Printf.sprintf "%s: must be finite (got %s)" what s)
+      | Some v when v < 0.0 ->
+          fail (Printf.sprintf "%s: must be non-negative (got %s)" what s)
+      | Some v -> v
+      | None -> fail (Printf.sprintf "%s: not a number (got %S)" what s)
+    in
+    (* the tile columns of a v2 record: [-] or comma-separated
+       [tile:comm:mem] triples *)
+    let refs what s =
+      if s = "-" then []
+      else
+        List.map
+          (fun triple ->
+            match String.split_on_char ':' triple with
+            | [ tile; t_comm; t_mem ] ->
+                let tile =
+                  match int_of_string_opt tile with
+                  | Some v when v >= 0 -> v
+                  | Some _ | None ->
+                      fail (Printf.sprintf "%s: bad tile id (got %S)" what tile)
+                in
+                {
+                  Dt_core.Task.tile;
+                  t_comm = num (what ^ " comm") t_comm;
+                  t_mem = num (what ^ " mem") t_mem;
+                }
+            | _ -> fail (Printf.sprintf "%s: expected tile:comm:mem (got %S)" what triple))
+          (String.split_on_char ',' s)
     in
     let tasks = ref [] in
+    let seen = Hashtbl.create 64 in
+    let int_id id =
+      match int_of_string_opt id with
+      | Some v -> v
+      | None -> fail (Printf.sprintf "id: not an integer (got %S)" id)
+    in
+    let add_task ~id ~label ~comm ~comp ~mem ~tiles ~writes =
+      let id = int_id id in
+      (* a duplicate id would silently corrupt the flat per-id records of
+         [Sim.run_two_orders] (the later task overwrites the earlier one's
+         slot), so it is a hard parse error *)
+      if Hashtbl.mem seen id then fail (Printf.sprintf "duplicate task id %d" id);
+      Hashtbl.replace seen id ();
+      tasks :=
+        Dt_core.Task.make ~label ~mem:(num "mem" mem) ~tiles ~writes ~id
+          ~comm:(num "comm" comm) ~comp:(num "comp" comp) ()
+        :: !tasks
+    in
     (try
        while true do
          let line = input_line ic in
          incr lineno;
          if String.length line > 0 && line.[0] <> '#' then
-           match String.split_on_char '\t' line with
-           | [ id; label; comm; comp; mem ] ->
-               let num what s =
-                 match float_of_string_opt s with
-                 | Some v when Float.is_nan v -> fail (what ^ ": NaN is not a value")
-                 | Some v when v < 0.0 ->
-                     fail (Printf.sprintf "%s: must be non-negative (got %s)" what s)
-                 | Some v -> v
-                 | None -> fail (Printf.sprintf "%s: not a number (got %S)" what s)
-               in
-               let id =
-                 match int_of_string_opt id with
-                 | Some v -> v
-                 | None -> fail (Printf.sprintf "id: not an integer (got %S)" id)
-               in
-               tasks :=
-                 Dt_core.Task.make ~label ~mem:(num "mem" mem) ~id ~comm:(num "comm" comm)
-                   ~comp:(num "comp" comp) ()
-                 :: !tasks
-           | fields ->
+           match (version, String.split_on_char '\t' line) with
+           | 1, [ id; label; comm; comp; mem ] ->
+               add_task ~id ~label ~comm ~comp ~mem ~tiles:[] ~writes:[]
+           | 2, [ id; label; comm; comp; mem; tiles; writes ] ->
+               add_task ~id ~label ~comm ~comp ~mem ~tiles:(refs "tiles" tiles)
+                 ~writes:(refs "writes" writes)
+           | v, fields ->
                fail
-                 (Printf.sprintf "bad record: expected 5 tab-separated fields, got %d"
+                 (Printf.sprintf "bad record: expected %d tab-separated fields, got %d"
+                    (if v = 1 then 5 else 7)
                     (List.length fields))
        done
      with End_of_file -> ());

@@ -2,9 +2,16 @@
     instrumented NWChem runs, with a plain-text file format so traces can
     be saved, inspected and re-analysed.
 
-    Format: one header line [# dtsched-trace v1 <name>], one comment line
-    with the column names, then one tab-separated line per task:
-    [id label comm comp mem]. *)
+    Format: one header line [# dtsched-trace v1 <name>] (or [v2]), one
+    comment line with the column names, then one tab-separated line per
+    task: [id label comm comp mem] for v1, plus two tile-reference
+    columns [tiles writes] for v2 — each a comma-separated list of
+    [tile:comm:mem] triples, or [-] when empty. {!write} emits v1
+    whenever no task carries tile annotations, so older readers keep
+    working; {!read_result} accepts both versions. Task ids must be
+    unique within a trace (duplicates are a parse error: they would
+    silently corrupt per-id result arrays downstream), and every numeric
+    field must be finite. *)
 
 type t = {
   name : string;          (** e.g. ["hf-p042"] *)

@@ -40,6 +40,67 @@ let paper_instance_gen ?(min_size = 1) ?(max_size = 6) () =
     let m_c = List.fold_left (fun acc (cm, _) -> Float.max acc cm) 0.5 pairs in
     return (Instance.of_triples ~capacity:(m_c *. (1.0 +. slack)) pairs))
 
+(* Tasks carrying tile annotations with arbitrary shares: the shares are
+   generated first and the totals padded on top of them, so [Task.make]'s
+   share validation holds by construction. Per-list tile ids are made
+   distinct by slotting. *)
+let tiled_task_gen =
+  QCheck2.Gen.(
+    let ref_gen slot =
+      let* tile = int_range 0 2 in
+      let* c = map (fun x -> float_of_int x /. 4.0) (int_range 0 6) in
+      let* m = map (fun x -> float_of_int x /. 4.0) (int_range 1 6) in
+      return { Task.tile = (slot * 4) + tile; t_comm = c; t_mem = m }
+    in
+    let* nt = int_range 0 3 in
+    let* nw = int_range 0 1 in
+    let* tiles = flatten_l (List.init nt (fun s -> ref_gen s)) in
+    let* writes = flatten_l (List.init nw (fun s -> ref_gen (8 + s))) in
+    let* extra_comm = map (fun x -> float_of_int x /. 4.0) (int_range 0 20) in
+    let* extra_mem = map (fun x -> float_of_int x /. 4.0) (int_range 0 8) in
+    let* comp = map (fun x -> float_of_int x /. 4.0) (int_range 0 40) in
+    let sum_c = List.fold_left (fun a (r : Task.tile_ref) -> a +. r.Task.t_comm) 0.0 tiles in
+    let sum_m =
+      List.fold_left (fun a (r : Task.tile_ref) -> a +. r.Task.t_mem) 0.0 (tiles @ writes)
+    in
+    return (fun id ->
+        Task.make ~id ~comm:(sum_c +. extra_comm) ~comp
+          ~mem:(Float.max 0.25 (sum_m +. extra_mem))
+          ~tiles ~writes ()))
+
+(* Tiled tasks whose shares are a fixed function of the tile id (as when
+   tiles are real shared blocks): every task referencing tile [t] carves
+   out the same (comm, mem) share, and no write-backs. Used by the
+   cached-never-worse property, whose guarantee assumes consistent
+   shares. *)
+let pooled_task_gen =
+  QCheck2.Gen.(
+    let tile_share t = 0.25 *. float_of_int ((t mod 3) + 1) in
+    let* ids = list_size (int_range 0 3) (int_range 0 7) in
+    let ids = List.sort_uniq compare ids in
+    let tiles =
+      List.map (fun t -> { Task.tile = t; t_comm = tile_share t; t_mem = tile_share t }) ids
+    in
+    let* extra_comm = map (fun x -> float_of_int x /. 4.0) (int_range 0 20) in
+    let* extra_mem = map (fun x -> float_of_int x /. 4.0) (int_range 0 8) in
+    let* comp = map (fun x -> float_of_int x /. 4.0) (int_range 0 40) in
+    let sum = List.fold_left (fun a (r : Task.tile_ref) -> a +. r.Task.t_comm) 0.0 tiles in
+    return (fun id ->
+        Task.make ~id ~comm:(sum +. extra_comm) ~comp
+          ~mem:(Float.max 0.25 (sum +. extra_mem))
+          ~tiles ()))
+
+let tiled_instance_gen ?(task = pooled_task_gen) ?(min_size = 1) ?(max_size = 8) () =
+  QCheck2.Gen.(
+    let* n = int_range min_size max_size in
+    let* mk = list_repeat n task in
+    let* slack = map (fun x -> float_of_int x /. 8.0) (int_range 0 16) in
+    let tasks = List.mapi (fun i f -> f i) mk in
+    let m_c =
+      List.fold_left (fun acc (t : Task.t) -> Float.max acc t.Task.mem) 0.25 tasks
+    in
+    return (Instance.make_keep_ids ~capacity:(m_c *. (1.0 +. slack)) tasks))
+
 let instance_print i = Format.asprintf "%a" Instance.pp i
 
 let prop_test ?(count = 300) ~name gen prop =

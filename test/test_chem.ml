@@ -221,3 +221,46 @@ let mp2_sanity () =
   Alcotest.(check bool) "partial correlation" true (mp2 > ccsd && mp2 < 0.5 *. ccsd)
 
 let suite = suite @ [ Alcotest.test_case "MP2 sanity" `Quick mp2_sanity ]
+
+(* Same seed => bit-identical trace, tile annotations included (pins the
+   dead-RNG removal in Workload.item_rng: the stream depends on nothing
+   but (seed, index)). Task.equal compares the annotations too. *)
+let workload_seed_determinism () =
+  let cluster = Dt_ga.Cluster.cascade in
+  let a = Dt_chem.Workload.hf_tasks ~seed:9 ~cluster ~nbf:800 ~proc:2 () in
+  let b = Dt_chem.Workload.hf_tasks ~seed:9 ~cluster ~nbf:800 ~proc:2 () in
+  Alcotest.(check bool) "hf identical for same seed" true
+    (List.for_all2 Dt_core.Task.equal a b);
+  let c = Dt_chem.Workload.ccsd_tasks ~seed:5 ~cluster ~n_occ:29 ~n_virt:120 ~proc:1 () in
+  let d = Dt_chem.Workload.ccsd_tasks ~seed:5 ~cluster ~n_occ:29 ~n_virt:120 ~proc:1 () in
+  Alcotest.(check bool) "ccsd identical for same seed" true
+    (List.for_all2 Dt_core.Task.equal c d)
+
+(* The generators annotate their remote tiles: shares must be real
+   carve-outs (some task has tiles; the totals are validated by
+   Task.make) and HF tile ids must repeat across quartets (that reuse is
+   what the residency model exploits). *)
+let workload_tile_annotations () =
+  let cluster = Dt_ga.Cluster.cascade in
+  let hf = Dt_chem.Workload.hf_tasks ~seed:9 ~cluster ~nbf:1600 ~proc:2 () in
+  let tiled = List.filter (fun t -> t.Dt_core.Task.tiles <> []) hf in
+  Alcotest.(check bool) "hf tasks carry tile refs" true (tiled <> []);
+  Alcotest.(check bool) "no write-backs emitted" true
+    (List.for_all (fun t -> t.Dt_core.Task.writes = []) hf);
+  let ids =
+    List.concat_map
+      (fun t -> List.map (fun r -> r.Dt_core.Task.tile) t.Dt_core.Task.tiles)
+      tiled
+  in
+  Alcotest.(check bool) "tile ids repeat across quartets" true
+    (List.length (List.sort_uniq compare ids) < List.length ids);
+  let ccsd = Dt_chem.Workload.ccsd_tasks ~seed:5 ~cluster ~n_occ:29 ~n_virt:120 ~proc:1 () in
+  Alcotest.(check bool) "ccsd tasks carry tile refs" true
+    (List.exists (fun t -> t.Dt_core.Task.tiles <> []) ccsd)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "workload seed determinism" `Quick workload_seed_determinism;
+      Alcotest.test_case "workload tile annotations" `Quick workload_tile_annotations;
+    ]

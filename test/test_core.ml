@@ -6,6 +6,7 @@ let () =
       ("stats", Test_stats.suite);
       ("model", Test_model.suite);
       ("sim", Test_sim.suite);
+      ("residency", Test_residency.suite);
       ("iheap", Test_iheap.suite);
       ("johnson", Test_johnson.suite);
       ("heuristics", Test_heuristics.suite);

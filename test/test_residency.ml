@@ -1,0 +1,221 @@
+(* The tile residency layer and the evict-aware executor: cache
+   semantics, eviction policies, write-back, and the two pinned
+   guarantees — bit-identity to the flat executor on annotation-free
+   instances, and never losing to the no-sharing baseline when the
+   baseline's own order is replayed under the cache. Plus the
+   numeric-validation regressions of this PR (inf acceptance). *)
+
+open Dt_core
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ------------------------- residency unit ------------------------- *)
+
+let ref_ ?(comm = 1.0) ?(mem = 1.0) tile = { Task.tile; t_comm = comm; t_mem = mem }
+
+let touch_lifecycle () =
+  let r = Residency.create () in
+  Alcotest.(check bool) "miss first" true (Residency.touch r (ref_ 1) = `Miss);
+  Alcotest.(check bool) "hit second" true (Residency.touch r (ref_ 1) = `Hit);
+  Alcotest.(check int) "two pins" 2 (Residency.pin_count r 1);
+  check_float "resident" 1.0 (Residency.resident_bytes r);
+  check_float "pinned" 1.0 (Residency.pinned_bytes r);
+  Residency.unpin r 1;
+  check_float "still pinned" 1.0 (Residency.pinned_bytes r);
+  Residency.unpin r 1;
+  check_float "unpinned" 0.0 (Residency.pinned_bytes r);
+  check_float "evictable" 1.0 (Residency.evictable_bytes r);
+  let s = Residency.stats r in
+  Alcotest.(check int) "hits" 1 s.Residency.hits;
+  Alcotest.(check int) "misses" 1 s.Residency.misses;
+  check_float "hit rate" 0.5 (Residency.hit_rate r)
+
+let unpin_errors () =
+  let r = Residency.create () in
+  Alcotest.check_raises "absent" (Invalid_argument "Residency.unpin: tile 9 not resident")
+    (fun () -> Residency.unpin r 9);
+  ignore (Residency.touch r (ref_ 3));
+  Residency.unpin r 3;
+  Alcotest.check_raises "not pinned" (Invalid_argument "Residency.unpin: tile 3 not pinned")
+    (fun () -> Residency.unpin r 3)
+
+let eviction_policies () =
+  (* tile 1: old, expensive; tile 2: middle, cheap; tile 3: recent *)
+  let fill r =
+    List.iter
+      (fun (t, c) ->
+        ignore (Residency.touch r (ref_ ~comm:c t));
+        Residency.unpin r t)
+      [ (1, 5.0); (2, 1.0); (3, 3.0) ]
+  in
+  let lru = Residency.create ~policy:Residency.Lru () in
+  fill lru;
+  Alcotest.(check (option int)) "lru evicts oldest" (Some 1) (Residency.evict_candidate lru);
+  let mr = Residency.create ~policy:Residency.Min_refetch () in
+  fill mr;
+  Alcotest.(check (option int)) "min-refetch evicts cheapest" (Some 2)
+    (Residency.evict_candidate mr);
+  (* pinning protects a tile from eviction *)
+  ignore (Residency.touch mr (ref_ ~comm:1.0 2));
+  Alcotest.(check (option int)) "pinned tile skipped" (Some 3) (Residency.evict_candidate mr);
+  Alcotest.check_raises "evict pinned" (Invalid_argument "Residency.evict: tile 2 is pinned")
+    (fun () -> Residency.evict mr 2);
+  let lru2 = Residency.create () in
+  fill lru2;
+  let freed = Residency.evict_down_to lru2 1.0 in
+  check_float "freed down to 1 byte" 2.0 freed;
+  Alcotest.(check int) "one tile left" 1 (Residency.resident_tiles lru2)
+
+(* ------------------------ cached executor ------------------------- *)
+
+let shared = ref_ ~comm:1.0 ~mem:1.0 7
+
+let hit_skips_share () =
+  (* two tasks reading the same tile: the second pays comm - 1 *)
+  let t0 = Task.make ~id:0 ~comm:2.0 ~comp:1.0 ~mem:2.0 ~tiles:[ shared ] () in
+  let t1 = Task.make ~id:1 ~comm:3.0 ~comp:1.0 ~mem:3.0 ~tiles:[ shared ] () in
+  match Sim.run_order_cached ~capacity:10.0 [ t0; t1 ] with
+  | Error t -> Alcotest.failf "rejected task %d" t.Task.id
+  | Ok (sched, stats) ->
+      (* t0: comm 0-2 (miss), comp 2-3; t1: comm 2-4 (3 - 1 hit), comp 4-5 *)
+      check_float "makespan" 5.0 (Schedule.makespan sched);
+      Alcotest.(check int) "one hit" 1 stats.Residency.hits;
+      Alcotest.(check int) "one miss" 1 stats.Residency.misses;
+      check_float "saved share" 1.0 stats.Residency.hit_comm;
+      let e1 = List.nth (Schedule.entries sched) 1 in
+      check_float "effective comm recorded" 2.0 e1.Schedule.task.Task.comm
+
+let writeback_becomes_resident () =
+  (* t0 writes tile 7 back after computing; t1 reads it and hits. The
+     write-back occupies the link, so t1 starts at wb end. *)
+  let w = ref_ ~comm:1.0 ~mem:1.0 7 in
+  let t0 = Task.make ~id:0 ~comm:2.0 ~comp:1.0 ~mem:2.0 ~writes:[ w ] () in
+  let t1 = Task.make ~id:1 ~comm:3.0 ~comp:1.0 ~mem:3.0 ~tiles:[ w ] () in
+  match Sim.run_order_cached ~capacity:10.0 [ t0; t1 ] with
+  | Error t -> Alcotest.failf "rejected task %d" t.Task.id
+  | Ok (sched, stats) ->
+      (* t0: comm 0-2, comp 2-3, wb 3-4; t1: comm 4-6 (hit), comp 6-7 *)
+      check_float "makespan" 7.0 (Schedule.makespan sched);
+      Alcotest.(check int) "writebacks" 1 stats.Residency.writebacks;
+      Alcotest.(check int) "t1 hits the written tile" 1 stats.Residency.hits;
+      let e1 = List.nth (Schedule.entries sched) 1 in
+      check_float "t1 starts after write-back" 4.0 e1.Schedule.s_comm
+
+let eviction_under_pressure () =
+  (* capacity fits one task + one cached tile; scheduling a task with a
+     different tile must evict the stale one instead of waiting *)
+  let a = ref_ ~comm:1.0 ~mem:2.0 1 and b = ref_ ~comm:1.0 ~mem:2.0 2 in
+  let t0 = Task.make ~id:0 ~comm:2.0 ~comp:1.0 ~mem:3.0 ~tiles:[ a ] () in
+  let t1 = Task.make ~id:1 ~comm:2.0 ~comp:1.0 ~mem:3.0 ~tiles:[ b ] () in
+  let t2 = Task.make ~id:2 ~comm:2.0 ~comp:1.0 ~mem:3.0 ~tiles:[ a ] () in
+  match Sim.run_order_cached ~capacity:4.0 [ t0; t1; t2 ] with
+  | Error t -> Alcotest.failf "rejected task %d" t.Task.id
+  | Ok (sched, stats) ->
+      Alcotest.(check int) "a was evicted for b, then refetched" 3 stats.Residency.misses;
+      Alcotest.(check int) "at least one eviction" 2 stats.Residency.evictions;
+      (* same timing as the flat run: eviction is free *)
+      let flat = Sim.run_order_exn ~capacity:4.0 (List.map Task.flatten [ t0; t1; t2 ]) in
+      check_float "eviction never delays" (Schedule.makespan flat) (Schedule.makespan sched)
+
+(* --------------------- degenerate bit-identity -------------------- *)
+
+let schedule_bit_equal a b =
+  let ea = Schedule.entries a and eb = Schedule.entries b in
+  List.length ea = List.length eb
+  && List.for_all2
+       (fun (x : Schedule.entry) (y : Schedule.entry) ->
+         Task.equal x.Schedule.task y.Schedule.task
+         && x.Schedule.s_comm = y.Schedule.s_comm
+         && x.Schedule.s_comp = y.Schedule.s_comp)
+       ea eb
+
+let prop_degenerate_run_order =
+  Generators.prop_test ~name:"no tiles: run_order_cached = run_order (bit-identical)"
+    (Generators.instance_gen ~max_size:10 ())
+    (fun instance ->
+      let capacity = instance.Instance.capacity in
+      let tasks = Instance.task_list instance in
+      let flat = Sim.run_order_exn ~capacity tasks in
+      match Sim.run_order_cached ~capacity tasks with
+      | Error t -> QCheck2.Test.fail_reportf "cached rejected task %d" t.Task.id
+      | Ok (cached, stats) ->
+          stats.Residency.hits = 0 && stats.Residency.misses = 0
+          && schedule_bit_equal flat cached)
+
+let prop_degenerate_rules =
+  Generators.prop_test ~name:"no tiles: Cached_rules = Dynamic_rules (all criteria)"
+    (Generators.instance_gen ~max_size:8 ())
+    (fun instance ->
+      List.for_all
+        (fun criterion ->
+          let flat = Dynamic_rules.run criterion instance in
+          let cached, _ = Cached_rules.run criterion instance in
+          schedule_bit_equal flat cached)
+        Dynamic_rules.all)
+
+(* ---------------------- cached never worse ------------------------ *)
+
+let prop_replay_never_worse =
+  Generators.prop_test ~name:"replayed baseline order under cache: makespan <="
+    (Generators.tiled_instance_gen ~max_size:10 ())
+    (fun instance ->
+      let capacity = instance.Instance.capacity in
+      let baseline = Dynamic_rules.run Dynamic_rules.SCMR instance in
+      let order =
+        List.map (fun (e : Schedule.entry) -> e.Schedule.task) (Schedule.entries baseline)
+      in
+      List.for_all
+        (fun policy ->
+          match Sim.run_order_cached ~policy ~capacity order with
+          | Error t -> QCheck2.Test.fail_reportf "cached rejected task %d" t.Task.id
+          | Ok (cached, _) -> Schedule.makespan cached <= Schedule.makespan baseline)
+        Residency.all_policies)
+
+(* ---------------- validation regressions (inf bug) ---------------- *)
+
+let rejects_non_finite () =
+  Alcotest.check_raises "inf comm" (Invalid_argument "Task.make: non-finite field")
+    (fun () -> ignore (Task.make ~id:0 ~comm:infinity ~comp:1.0 ()));
+  Alcotest.check_raises "inf mem" (Invalid_argument "Task.make: non-finite field")
+    (fun () -> ignore (Task.make ~id:0 ~comm:1.0 ~comp:1.0 ~mem:infinity ()));
+  Alcotest.check_raises "inf tile share"
+    (Invalid_argument "Task.make: non-finite input tile field") (fun () ->
+      ignore
+        (Task.make ~id:0 ~comm:1.0 ~comp:1.0 ~tiles:[ ref_ ~comm:infinity 1 ] ()));
+  Alcotest.check_raises "inf engine capacity"
+    (Invalid_argument "Engine.create: capacity must be finite") (fun () ->
+      ignore (Dt_runtime.Engine.create ~capacity:infinity ()));
+  (* the pre-existing guards keep their messages *)
+  Alcotest.check_raises "nan comm" (Invalid_argument "Task.make: NaN field") (fun () ->
+      ignore (Task.make ~id:0 ~comm:Float.nan ~comp:1.0 ()));
+  Alcotest.check_raises "non-positive engine capacity"
+    (Invalid_argument "Engine.create: capacity must be positive") (fun () ->
+      ignore (Dt_runtime.Engine.create ~capacity:0.0 ()))
+
+let rejects_bad_shares () =
+  Alcotest.check_raises "comm share overflow"
+    (Invalid_argument "Task.make: tile communication shares exceed comm") (fun () ->
+      ignore (Task.make ~id:0 ~comm:1.0 ~comp:1.0 ~mem:5.0 ~tiles:[ ref_ ~comm:2.0 1 ] ()));
+  Alcotest.check_raises "mem share overflow"
+    (Invalid_argument "Task.make: tile memory shares exceed mem") (fun () ->
+      ignore
+        (Task.make ~id:0 ~comm:4.0 ~comp:1.0 ~mem:1.0 ~tiles:[ ref_ ~mem:2.0 1 ] ()));
+  Alcotest.check_raises "duplicate tile id"
+    (Invalid_argument "Task.make: duplicate input tile id 1") (fun () ->
+      ignore
+        (Task.make ~id:0 ~comm:4.0 ~comp:1.0 ~mem:4.0 ~tiles:[ ref_ 1; ref_ 1 ] ()))
+
+let suite =
+  [
+    Alcotest.test_case "touch/pin lifecycle" `Quick touch_lifecycle;
+    Alcotest.test_case "unpin errors" `Quick unpin_errors;
+    Alcotest.test_case "eviction policies" `Quick eviction_policies;
+    Alcotest.test_case "hit skips transfer share" `Quick hit_skips_share;
+    Alcotest.test_case "write-back becomes resident" `Quick writeback_becomes_resident;
+    Alcotest.test_case "eviction under memory pressure" `Quick eviction_under_pressure;
+    Alcotest.test_case "rejects non-finite fields" `Quick rejects_non_finite;
+    Alcotest.test_case "rejects bad tile shares" `Quick rejects_bad_shares;
+    prop_degenerate_run_order;
+    prop_degenerate_rules;
+    prop_replay_never_worse;
+  ]

@@ -139,3 +139,116 @@ let set_roundtrip_preserves_tasks () =
 
 let suite =
   suite @ [ Alcotest.test_case "set roundtrip preserves tasks" `Quick set_roundtrip_preserves_tasks ]
+
+(* ------------------- v2 format and integrity fixes ------------------- *)
+
+let parse_string s =
+  let path = Filename.temp_file "dtsched" ".trace" in
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () -> Dt_trace.Trace.load_result path)
+
+let write_to_string t =
+  let path = Filename.temp_file "dtsched" ".trace" in
+  let oc = open_out path in
+  Dt_trace.Trace.write oc t;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+let tiled_tasks =
+  [
+    Dt_core.Task.make ~id:0 ~label:"plain" ~comm:1.5 ~comp:2.25 ();
+    Dt_core.Task.make ~id:1 ~label:"tiled" ~comm:3.0 ~comp:1.0 ~mem:4.0
+      ~tiles:[ { Dt_core.Task.tile = 5; t_comm = 1.25; t_mem = 2.0 } ]
+      ~writes:[ { Dt_core.Task.tile = 9; t_comm = 0.5; t_mem = 1.0 } ]
+      ();
+  ]
+
+let v2_roundtrip () =
+  let t = Dt_trace.Trace.make ~name:"v2 unit" tiled_tasks in
+  let text = write_to_string t in
+  Alcotest.(check bool) "v2 header" true
+    (String.length text > 20 && String.sub text 0 20 = "# dtsched-trace v2 v");
+  match parse_string text with
+  | Error e -> Alcotest.failf "v2 reread failed: %s" (Dt_trace.Trace.parse_error_to_string e)
+  | Ok t' ->
+      Alcotest.(check bool) "tasks preserved with annotations" true
+        (List.for_all2 Dt_core.Task.equal t.Dt_trace.Trace.tasks t'.Dt_trace.Trace.tasks)
+
+let v1_emitted_when_flat () =
+  let t = Dt_trace.Trace.make ~name:"flat" sample_tasks in
+  let text = write_to_string t in
+  Alcotest.(check bool) "annotation-free traces keep the v1 header" true
+    (String.sub text 0 19 = "# dtsched-trace v1 ")
+
+let integrity_errors () =
+  let check_error name input ~line ~grep =
+    match parse_string input with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+    | Error e ->
+        Alcotest.(check int) (name ^ ": line") line e.Dt_trace.Trace.line;
+        let msg = Dt_trace.Trace.parse_error_to_string e in
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" name msg grep)
+          true (contains msg grep)
+  in
+  (* duplicate task ids silently corrupted per-id result arrays before *)
+  check_error "duplicate id"
+    "# dtsched-trace v1 x\n0\tt\t1\t1\t1\n1\tu\t1\t1\t1\n0\tv\t1\t1\t1\n" ~line:4
+    ~grep:"duplicate task id 0";
+  (* inf passed the NaN/negative guards before *)
+  check_error "inf comm" "# dtsched-trace v1 x\n0\tt\tinf\t1\t1\n" ~line:2 ~grep:"finite";
+  check_error "inf mem" "# dtsched-trace v1 x\n0\tt\t1\t1\tinfinity\n" ~line:2 ~grep:"finite";
+  (* v2 records *)
+  check_error "v2 truncated" "# dtsched-trace v2 x\n0\tt\t1\t1\t1\t-\n" ~line:2
+    ~grep:"7 tab-separated";
+  check_error "v2 bad triple" "# dtsched-trace v2 x\n0\tt\t1\t1\t1\t5:0.5\t-\n" ~line:2
+    ~grep:"tile:comm:mem";
+  check_error "v2 bad tile id" "# dtsched-trace v2 x\n0\tt\t1\t1\t1\tx:0.5:0.5\t-\n" ~line:2
+    ~grep:"bad tile id";
+  check_error "v2 share overflow" "# dtsched-trace v2 x\n0\tt\t1\t1\t1\t5:2:0.5\t-\n" ~line:2
+    ~grep:"exceed";
+  check_error "v2 on v1 header" "# dtsched-trace v1 x\n0\tt\t1\t1\t1\t-\t-\n" ~line:2
+    ~grep:"5 tab-separated"
+
+let task_list_print tasks =
+  String.concat "; " (List.map (fun t -> Format.asprintf "%a" Dt_core.Task.pp t) tasks)
+
+let prop_trace_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"write/load round-trips task lists (v1 and v2)"
+       ~print:task_list_print
+       QCheck2.Gen.(
+         let* n = int_range 0 8 in
+         let* mk = list_repeat n (oneof [ Generators.task_gen; Generators.tiled_task_gen ]) in
+         return (List.mapi (fun i f -> f i) mk))
+       (fun tasks ->
+         let t = Dt_trace.Trace.make ~name:"prop" tasks in
+         match parse_string (write_to_string t) with
+         | Error e ->
+             QCheck2.Test.fail_reportf "reread failed: %s"
+               (Dt_trace.Trace.parse_error_to_string e)
+         | Ok t' -> List.equal Dt_core.Task.equal tasks t'.Dt_trace.Trace.tasks))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "v2 roundtrip with annotations" `Quick v2_roundtrip;
+      Alcotest.test_case "flat traces stay v1" `Quick v1_emitted_when_flat;
+      Alcotest.test_case "duplicate ids and non-finite fields" `Quick integrity_errors;
+      prop_trace_roundtrip;
+    ]
