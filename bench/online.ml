@@ -62,11 +62,83 @@ let percentile sorted q =
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float ((Float.of_int (n - 1) *. q) +. 0.5)))
 
-(* Throughput of the in-process protocol loop: SUBMIT-heavy session. *)
+(* The committed BENCH_runtime.json is the previous PR's measurement:
+   its mode_sweep points are this run's performance baseline for the
+   zero_copy_not_slower gate. Scraped with a line-oriented field reader
+   (each sweep point is one JSON object per line, exactly as this file
+   writes them) before write_artifact truncates the file — the benches
+   carry no JSON dependency. *)
+let scrape_field line key =
+  let marker = Printf.sprintf "\"%s\":" key in
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = marker then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let first = ref start in
+      while !first < n && line.[!first] = ' ' do incr first done;
+      let stop = ref !first in
+      while
+        !stop < n
+        && (match line.[!stop] with ',' | '}' | ']' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      let raw = String.trim (String.sub line !first (!stop - !first)) in
+      let raw =
+        if
+          String.length raw >= 2
+          && raw.[0] = '"'
+          && raw.[String.length raw - 1] = '"'
+        then String.sub raw 1 (String.length raw - 2)
+        else raw
+      in
+      if raw = "" then None else Some raw
+
+let scrape_float line key = Option.bind (scrape_field line key) float_of_string_opt
+let scrape_int line key = Option.bind (scrape_field line key) int_of_string_opt
+
+let load_mode_sweep_baseline path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let points = ref [] in
+      let in_sweep = ref false in
+      (try
+         while true do
+           let line = input_line ic in
+           if !in_sweep then
+             if String.trim line = "]," || String.trim line = "]" then
+               raise Exit
+             else (
+               match
+                 ( scrape_int line "clients",
+                   scrape_field line "mode",
+                   scrape_int line "pipeline",
+                   scrape_float line "requests_per_s" )
+               with
+               | Some c, Some m, Some p, Some r ->
+                   points := ((c, m = "binary", p), r) :: !points
+               | _ -> ())
+           else if scrape_field line "mode_sweep" <> None then in_sweep := true
+         done
+       with End_of_file | Exit -> ());
+      close_in ic;
+      List.rev !points
+
+(* Throughput of the in-process protocol loop: SUBMIT-heavy session.
+   Also samples Gc.minor_words around the request loop: the
+   allocation-per-request figure the CI budget gate holds the hot path
+   to (deterministic, unlike the forked TCP numbers). *)
 let session_throughput ~requests =
   let session = Dt_runtime.Session.create () in
   ignore (Dt_runtime.Session.handle_line session "INIT 1000 OOSCMR 1000000");
   let latencies = Array.make requests 0.0 in
+  let w0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   for i = 0 to requests - 1 do
     let line = Printf.sprintf "SUBMIT t%d 1.5 0.5 1.5 %d" i i in
@@ -74,12 +146,19 @@ let session_throughput ~requests =
     ignore (Dt_runtime.Session.handle_line session line);
     latencies.(i) <- Unix.gettimeofday () -. s0
   done;
+  let minor_words = Gc.minor_words () -. w0 in
   ignore (Dt_runtime.Session.handle_line session "DRAIN");
   let wall = Unix.gettimeofday () -. t0 in
   Array.sort Float.compare latencies;
-  (Float.of_int requests /. wall, percentile latencies 0.5, percentile latencies 0.99)
+  ( Float.of_int requests /. wall,
+    percentile latencies 0.5,
+    percentile latencies 0.99,
+    minor_words /. Float.of_int requests )
 
-(* Same shape over a real TCP loopback: server on its own domain. *)
+(* Same shape over a real TCP loopback: server on its own domain. The
+   STATS probe before DRAIN reads back the server's own
+   minor_words_per_req gauge (the full event-loop path: parse, batch,
+   encode-into-iobuf). *)
 let tcp_throughput ~requests =
   let server = Dt_runtime.Server.create ~port:0 () in
   let port = Dt_runtime.Server.port server in
@@ -108,12 +187,19 @@ let tcp_throughput ~requests =
         ignore (Dt_runtime.Client.request conn req);
         latencies.(i) <- Unix.gettimeofday () -. s0
       done;
-      ignore (Dt_runtime.Client.request conn Dt_runtime.Protocol.Drain);
       let wall = Unix.gettimeofday () -. t0 in
+      let server_mwpr =
+        match Dt_runtime.Client.request conn Dt_runtime.Protocol.Stats with
+        | line :: _ ->
+            Dt_runtime.Client.response_field "minor_words_per_req" line
+        | [] -> None
+      in
+      ignore (Dt_runtime.Client.request conn Dt_runtime.Protocol.Drain);
       Array.sort Float.compare latencies;
       ( Float.of_int requests /. wall,
         percentile latencies 0.5,
-        percentile latencies 0.99 ))
+        percentile latencies 0.99,
+        server_mwpr ))
 
 (* Aggregate throughput of N concurrent clients against one sharded
    server. Forked processes, not domains: each client and the server own
@@ -197,9 +283,10 @@ let tcp_client_sweep ?(binary = false) ?(pipeline = 1) ~clients ~requests () =
            Dt_runtime.Client.close conn;
            Array.sort Float.compare latencies;
            let oc = Unix.out_channel_of_descr w in
-           Printf.fprintf oc "%.9f %.9f\n"
+           Printf.fprintf oc "%.9f %.9f %.9f\n"
              (percentile latencies 0.5)
-             (percentile latencies 0.99);
+             (percentile latencies 0.99)
+             (percentile latencies 0.999);
            flush oc
          with _ -> ());
         exit 0
@@ -217,11 +304,15 @@ let tcp_client_sweep ?(binary = false) ?(pipeline = 1) ~clients ~requests () =
         let line = try input_line ic with End_of_file | Sys_error _ -> "" in
         close_in ic;
         match String.split_on_char ' ' line with
-        | [ p50; p99 ] -> (
-            match (float_of_string_opt p50, float_of_string_opt p99) with
-            | Some a, Some b -> (a, b)
-            | _ -> (0.0, 0.0))
-        | _ -> (0.0, 0.0))
+        | [ p50; p99; p999 ] -> (
+            match
+              ( float_of_string_opt p50,
+                float_of_string_opt p99,
+                float_of_string_opt p999 )
+            with
+            | Some a, Some b, Some c -> (a, b, c)
+            | _ -> (0.0, 0.0, 0.0))
+        | _ -> (0.0, 0.0, 0.0))
       children
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -236,9 +327,10 @@ let tcp_client_sweep ?(binary = false) ?(pipeline = 1) ~clients ~requests () =
     if wall > 0.0 then Float.of_int (clients * requests) /. wall else 0.0
   in
   (* worst client percentiles: the honest tail across the whole fleet *)
-  let p50 = List.fold_left (fun a (p, _) -> Float.max a p) 0.0 percentiles in
-  let p99 = List.fold_left (fun a (_, p) -> Float.max a p) 0.0 percentiles in
-  (rps, p50, p99)
+  let p50 = List.fold_left (fun a (p, _, _) -> Float.max a p) 0.0 percentiles in
+  let p99 = List.fold_left (fun a (_, p, _) -> Float.max a p) 0.0 percentiles in
+  let p999 = List.fold_left (fun a (_, _, p) -> Float.max a p) 0.0 percentiles in
+  (rps, p50, p99, p999)
 
 (* C10K-style idle-population point: hold [connections] simultaneously
    open, silent connections against an epoll-backed server (forked, so
@@ -378,6 +470,8 @@ let run () =
      mean comm time / arrival spacing; load inf = every task at 0, which the \
      tests pin to the offline schedule bit for bit)\n"
     (Array.length traces) factor;
+  (* previous PR's numbers, read before write_artifact overwrites them *)
+  let baseline = load_mode_sweep_baseline "BENCH_runtime.json" in
   (* the forked benches must run before tcp_throughput spawns the first
      domain of this process (fork + live domains don't mix) *)
   let sweep_clients = [ 1; 2; 4; 8 ] in
@@ -408,33 +502,41 @@ let run () =
   let c10k_connections = 2048 in
   let c10k = c10k_idle ~connections:c10k_connections in
   let requests = if Data.fast then 2000 else 20000 in
-  let inproc_rps, inproc_p50, inproc_p99 = session_throughput ~requests in
+  let inproc_rps, inproc_p50, inproc_p99, inproc_mwpr =
+    session_throughput ~requests
+  in
   Printf.printf
-    "\nservice loop, in-process: %.0f req/s (p50 %.1f us, p99 %.1f us, %d requests)\n"
-    inproc_rps (1e6 *. inproc_p50) (1e6 *. inproc_p99) requests;
+    "\nservice loop, in-process: %.0f req/s (p50 %.1f us, p99 %.1f us, \
+     %.0f minor words/req, %d requests)\n"
+    inproc_rps (1e6 *. inproc_p50) (1e6 *. inproc_p99) inproc_mwpr requests;
   let tcp_requests = if Data.fast then 1000 else 5000 in
-  let tcp_rps, tcp_p50, tcp_p99 = tcp_throughput ~requests:tcp_requests in
+  let tcp_rps, tcp_p50, tcp_p99, server_mwpr =
+    tcp_throughput ~requests:tcp_requests
+  in
   Printf.printf
-    "service loop, TCP loopback: %.0f req/s (p50 %.1f us, p99 %.1f us, %d requests)\n"
-    tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99) tcp_requests;
+    "service loop, TCP loopback: %.0f req/s (p50 %.1f us, p99 %.1f us, \
+     server %s minor words/req, %d requests)\n"
+    tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99)
+    (match server_mwpr with Some w -> Printf.sprintf "%.0f" w | None -> "n/a")
+    tcp_requests;
   List.iter
-    (fun (clients, (rps, _, p99)) ->
+    (fun (clients, (rps, _, p99, p999)) ->
       Printf.printf
         "service loop, TCP %d concurrent client%s: %.0f req/s aggregate \
-         (worst p99 %.1f us, %d requests each, forked processes)\n"
+         (worst p99 %.1f us, p99.9 %.1f us, %d requests each, forked processes)\n"
         clients
         (if clients = 1 then " " else "s")
-        rps (1e6 *. p99) sweep_requests)
+        rps (1e6 *. p99) (1e6 *. p999) sweep_requests)
     client_sweep;
   List.iter
-    (fun ((clients, binary, pipeline), (rps, _, p99)) ->
+    (fun ((clients, binary, pipeline), (rps, _, p99, p999)) ->
       Printf.printf
         "service loop, TCP %2d client%s %s pipeline=%-2d: %.0f req/s aggregate \
-         (worst p99 %.1f us)\n"
+         (worst p99 %.1f us, p99.9 %.1f us)\n"
         clients
         (if clients = 1 then " " else "s")
         (if binary then "binary" else "text  ")
-        pipeline rps (1e6 *. p99))
+        pipeline rps (1e6 *. p99) (1e6 *. p999))
     mode_sweep;
   (match c10k with
   | Some (established_s, served) ->
@@ -447,7 +549,7 @@ let run () =
         "C10K idle population: skipped (epoll unavailable on this host)\n");
   let sweep_rps clients =
     match List.assoc_opt clients client_sweep with
-    | Some (rps, _, _) -> rps
+    | Some (rps, _, _, _) -> rps
     | None -> 0.0
   in
   let non_decreasing_1_to_4 = sweep_rps 4 >= sweep_rps 1 in
@@ -456,7 +558,7 @@ let run () =
      single-request text baseline (the point of the framing) *)
   let mode_rps clients binary pipeline =
     match List.assoc_opt (clients, binary, pipeline) mode_sweep with
-    | Some (rps, _, _) -> rps
+    | Some (rps, _, _, _) -> rps
     | None -> 0.0
   in
   let pipelined_binary_beats_text =
@@ -469,6 +571,44 @@ let run () =
   (match c10k with
   | Some (_, served) -> Printf.printf "GATE c10k_idle_served=%b\n" served
   | None -> ());
+  (* zero-copy regression gate: every mode_sweep point is compared to
+     the committed previous-PR number; the gate is on the geometric mean
+     of the speedups, with a 0.9 floor absorbing forked-bench noise on a
+     shared runner. First run (no baseline) passes vacuously. *)
+  let mode_ratios =
+    List.filter_map
+      (fun (key, (rps, _, _, _)) ->
+        match List.assoc_opt key baseline with
+        | Some base when base > 0.0 && rps > 0.0 -> Some (key, base, rps /. base)
+        | _ -> None)
+      mode_sweep
+  in
+  let geomean_speedup =
+    match mode_ratios with
+    | [] -> 1.0
+    | l ->
+        exp
+          (List.fold_left (fun a (_, _, r) -> a +. log r) 0.0 l
+          /. Float.of_int (List.length l))
+  in
+  let zero_copy_not_slower = geomean_speedup >= 0.9 in
+  Printf.printf
+    "GATE zero_copy_not_slower=%b geomean_speedup_vs_baseline=%.3f \
+     baseline_points=%d\n"
+    zero_copy_not_slower geomean_speedup
+    (List.length mode_ratios);
+  (* allocation budget on the deterministic in-process loop: parsing a
+     SUBMIT, running the engine pass and formatting the response must
+     stay under this many minor words per request (measured ~340 on the
+     zero-copy path; the budget leaves ~3x headroom for legitimate
+     feature growth while still catching an accidental per-request copy
+     of anything buffer-sized) *)
+  let alloc_budget_words = 1024.0 in
+  let alloc_budget_ok = inproc_mwpr <= alloc_budget_words in
+  Printf.printf "GATE alloc_budget_ok=%b minor_words_per_req=%.0f budget=%.0f\n"
+    alloc_budget_ok inproc_mwpr alloc_budget_words;
+  let writev_available = Dt_runtime.Net.writev_available in
+  Printf.printf "writev_available=%b\n" writev_available;
   Provenance.write_artifact ~path:"BENCH_runtime.json" ~experiment:"online-runtime"
     (fun oc ->
       Printf.fprintf oc
@@ -494,26 +634,33 @@ let run () =
         "  ],\n\
         \  \"throughput\": {\n\
         \    \"in_process\": { \"requests\": %d, \"requests_per_s\": %.1f, \
-         \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f },\n\
+         \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f, \
+         \"minor_words_per_req\": %.1f, \"alloc_budget_words\": %.0f, \
+         \"alloc_budget_ok\": %b },\n\
         \    \"tcp_loopback\": { \"requests\": %d, \"requests_per_s\": %.1f, \
-         \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f },\n\
+         \"p50_latency_us\": %.2f, \"p99_latency_us\": %.2f, \
+         \"server_minor_words_per_req\": %s },\n\
         \    \"tcp_client_sweep\": [\n"
         requests inproc_rps (1e6 *. inproc_p50) (1e6 *. inproc_p99)
-        tcp_requests tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99);
+        inproc_mwpr alloc_budget_words alloc_budget_ok
+        tcp_requests tcp_rps (1e6 *. tcp_p50) (1e6 *. tcp_p99)
+        (match server_mwpr with
+        | Some w -> Printf.sprintf "%.1f" w
+        | None -> "null");
       let n_points = List.length client_sweep in
       List.iteri
-        (fun i (clients, (rps, p50, p99)) ->
+        (fun i (clients, (rps, p50, p99, p999)) ->
           Printf.fprintf oc
             "      { \"clients\": %d, \"requests_per_client\": %d, \
              \"requests_per_s\": %.1f, \"worst_p50_latency_us\": %.2f, \
-             \"worst_p99_latency_us\": %.2f }%s\n"
-            clients sweep_requests rps (1e6 *. p50) (1e6 *. p99)
+             \"worst_p99_latency_us\": %.2f, \"worst_p999_latency_us\": %.2f }%s\n"
+            clients sweep_requests rps (1e6 *. p50) (1e6 *. p99) (1e6 *. p999)
             (if i = n_points - 1 then "" else ","))
         client_sweep;
-      let conc_rps, _, _ =
+      let conc_rps, _, _, _ =
         match List.assoc_opt 4 client_sweep with
         | Some point -> point
-        | None -> (0.0, 0.0, 0.0)
+        | None -> (0.0, 0.0, 0.0, 0.0)
       in
       Printf.fprintf oc
         "    ],\n\
@@ -524,20 +671,35 @@ let run () =
         sweep_requests conc_rps non_decreasing_1_to_4;
       let n_modes = List.length mode_sweep in
       List.iteri
-        (fun i ((clients, binary, pipeline), (rps, p50, p99)) ->
+        (fun i ((clients, binary, pipeline), (rps, p50, p99, p999)) ->
+          let baseline_json =
+            match List.assoc_opt (clients, binary, pipeline) baseline with
+            | Some base when base > 0.0 ->
+                Printf.sprintf
+                  ", \"baseline_requests_per_s\": %.1f, \
+                   \"speedup_vs_baseline\": %.3f"
+                  base (rps /. base)
+            | _ -> ""
+          in
           Printf.fprintf oc
             "      { \"clients\": %d, \"mode\": \"%s\", \"pipeline\": %d, \
              \"requests_per_client\": %d, \"requests_per_s\": %.1f, \
-             \"worst_p50_latency_us\": %.2f, \"worst_p99_latency_us\": %.2f }%s\n"
+             \"worst_p50_latency_us\": %.2f, \"worst_p99_latency_us\": %.2f, \
+             \"worst_p999_latency_us\": %.2f%s }%s\n"
             clients
             (if binary then "binary" else "text")
-            pipeline sweep_requests rps (1e6 *. p50) (1e6 *. p99)
+            pipeline sweep_requests rps (1e6 *. p50) (1e6 *. p99) (1e6 *. p999)
+            baseline_json
             (if i = n_modes - 1 then "" else ","))
         mode_sweep;
       Printf.fprintf oc
         "    ],\n\
-        \    \"pipelined_binary_beats_text\": %b,\n"
-        pipelined_binary_beats_text;
+        \    \"pipelined_binary_beats_text\": %b,\n\
+        \    \"zero_copy\": { \"writev_available\": %b, \
+         \"baseline_points\": %d, \"geomean_speedup_vs_baseline\": %.3f, \
+         \"zero_copy_not_slower\": %b },\n"
+        pipelined_binary_beats_text writev_available
+        (List.length mode_ratios) geomean_speedup zero_copy_not_slower;
       (match c10k with
       | Some (established_s, served) ->
           Printf.fprintf oc

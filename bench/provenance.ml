@@ -24,11 +24,16 @@ let git_commit () =
       | Unix.WEXITED 0 when String.length line = 40 -> line
       | _ -> "unknown")
 
-(* The common stamp fields, ready to splice into a JSON object. *)
+(* The common stamp fields, ready to splice into a JSON object. [cores]
+   is Domain.recommended_domain_count: multi-core speedup numbers (and
+   the gates that skip on single-core runners) are meaningless without
+   knowing what hardware produced them. *)
 let json_fields () =
-  Printf.sprintf "  \"git_commit\": \"%s\",\n  \"hostname\": \"%s\",\n"
+  Printf.sprintf
+    "  \"git_commit\": \"%s\",\n  \"hostname\": \"%s\",\n  \"cores\": %d,\n"
     (json_escape (git_commit ()))
     (json_escape (hostname ()))
+    (Domain.recommended_domain_count ())
 
 (* Every BENCH_*.json artifact goes through here: open the file, emit the
    opening brace, the experiment name and the stamp, let the experiment

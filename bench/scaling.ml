@@ -77,8 +77,9 @@ let run () =
       (fun acc (d, _, s, _, _) -> if d >= 2 then Float.max acc s else acc)
       0.0 runs
   in
-  Printf.printf "GATE best_multi_domain_speedup=%.3f cores=%d\n" best_multi
-    recommended;
+  Printf.printf
+    "GATE best_multi_domain_speedup=%.3f cores=%d gate_skipped_single_core=%b\n"
+    best_multi recommended (recommended < 2);
   Provenance.write_artifact ~path:"BENCH_fleet.json" ~experiment:"fleet-scaling" (fun oc ->
       Printf.fprintf oc
         "  \"kernel\": \"%s\",\n\
@@ -87,6 +88,7 @@ let run () =
         \  \"capacity_factor\": 1.5,\n\
         \  \"fast_mode\": %b,\n\
         \  \"recommended_domain_count\": %d,\n\
+        \  \"gate_skipped_single_core\": %b,\n\
         \  \"best_multi_domain_speedup\": %.3f,\n\
         \  \"application_makespan\": %.17g,\n\
         \  \"application_lower_bound\": %.17g,\n\
@@ -96,7 +98,7 @@ let run () =
         (Provenance.json_escape "hf")
         (Array.length traces)
         (List.length Dt_core.Heuristic.all)
-        Data.fast recommended best_multi
+        Data.fast recommended (recommended < 2) best_multi
         seq.Dt_trace.Fleet.application_makespan
         seq.Dt_trace.Fleet.application_lower_bound
         seq.Dt_trace.Fleet.mean_ratio seq_wall;

@@ -729,7 +729,7 @@ let policy_conv =
   let print ppf p = Format.pp_print_string ppf (Dt_runtime.Engine.policy_name p) in
   Arg.conv (parse, print)
 
-let client host port trace_path rate policy factor binary pipeline =
+let client host port trace_path rate policy factor binary pipeline gc_stats =
   if pipeline < 1 then Error (`Msg "--pipeline must be positive")
   else
   match
@@ -770,9 +770,22 @@ let client host port trace_path rate policy factor binary pipeline =
                     else 1.0));
               Printf.printf "  throughput       %.0f req/s (wall %.3f s)\n"
                 r.Dt_runtime.Client.requests_per_s r.Dt_runtime.Client.wall_s;
-              Printf.printf "  latency          p50 %.3f ms, p99 %.3f ms\n"
+              Printf.printf
+                "  latency          p50 %.3f ms, p99 %.3f ms, p99.9 %.3f ms\n"
                 (1e3 *. r.Dt_runtime.Client.p50_latency_s)
-                (1e3 *. r.Dt_runtime.Client.p99_latency_s);
+                (1e3 *. r.Dt_runtime.Client.p99_latency_s)
+                (1e3 *. r.Dt_runtime.Client.p999_latency_s);
+              if gc_stats then begin
+                let g = r.Dt_runtime.Client.gc in
+                Printf.printf
+                  "  gc (client)      minor_words %.0f, major_words %.0f\n"
+                  g.Dt_runtime.Client.minor_words
+                  g.Dt_runtime.Client.major_words;
+                Printf.printf
+                  "  gc (client)      minor_collections %d, major_collections %d\n"
+                  g.Dt_runtime.Client.minor_collections
+                  g.Dt_runtime.Client.major_collections
+              end;
               Ok ()
           | None ->
               (* interactive mode: forward stdin lines, print responses *)
@@ -836,12 +849,22 @@ let client_cmd =
              with $(b,--binary) a window travels as one frame and the server \
              runs it as a single engine pass.")
   in
+  let gc_stats =
+    Arg.(
+      value & flag
+      & info [ "gc-stats" ]
+          ~doc:
+            "After a replay, print the client process's GC activity over \
+             the run (minor/major words allocated and collection counts) — \
+             the cost of driving the load, next to the server-side \
+             $(b,minor_words_per_req) that $(b,STATS) reports.")
+  in
   Cmd.v
     (Cmd.info "client" ~doc:"Scheduling-service client and trace-replay load generator")
     Term.(
       term_result
         (const client $ host $ port $ trace $ rate $ policy $ factor_arg
-       $ binary $ pipeline))
+       $ binary $ pipeline $ gc_stats))
 
 (* ------------------------------------------------------------------ *)
 (* chem                                                                 *)

@@ -138,8 +138,14 @@ if [ "${cores:-1}" -ge 2 ]; then
     exit 1
   fi
 else
+  # the skip must be machine-readable in the artifact, not just in this log
+  grep -q '"gate_skipped_single_core": true' BENCH_fleet.json || {
+    echo "FAIL: single-core skip not recorded in BENCH_fleet.json" >&2
+    exit 1
+  }
   echo "NOTICE: single-core runner (recommended_domain_count=${cores}):"
-  echo "NOTICE: fleet speedup gate skipped (measured ${speedup}x; >1 requires >=2 cores)"
+  echo "NOTICE: fleet speedup gate skipped (measured ${speedup}x; >1 requires >=2 cores,"
+  echo "NOTICE: recorded as gate_skipped_single_core in BENCH_fleet.json)"
 fi
 
 echo "== cluster experiment (fast workload) =="
@@ -185,6 +191,41 @@ grep -q '"pipelined_binary_beats_text": true' BENCH_runtime.json || {
   exit 1
 }
 echo "pipelining gate OK: binary+pipelined beats text unpipelined at every conn count"
+
+echo "== zero-copy write path gates =="
+# On Linux the writev stub must actually be compiled in: the looped
+# single-write fallback exists for platforms without writev, and
+# silently running it here would invalidate every scatter-gather
+# number this PR gates on.
+if [ "$(uname -s)" = "Linux" ]; then
+  grep -q '"writev_available": true' BENCH_runtime.json || {
+    echo "FAIL: writev stub fell back to looped write on Linux (see BENCH_runtime.json)" >&2
+    exit 1
+  }
+  echo "writev gate OK: scatter-gather writev compiled in and used"
+else
+  echo "NOTICE: non-Linux host; writev availability gate skipped"
+fi
+
+# The zero-copy server must not be slower than the previous PR's
+# committed numbers: geometric mean over the conns x framing sweep,
+# with a 0.9 floor absorbing forked-bench noise on shared runners.
+grep -q '"zero_copy_not_slower": true' BENCH_runtime.json || {
+  echo "FAIL: zero-copy server lost throughput against the committed baseline (see BENCH_runtime.json)" >&2
+  exit 1
+}
+geomean=$(grep -o '"geomean_speedup_vs_baseline": *[0-9.]*' BENCH_runtime.json | grep -o '[0-9.]*$' || echo 1)
+echo "zero-copy throughput gate OK: geomean speedup ${geomean}x vs committed baseline"
+
+# Allocation budget on the in-process hot path: parsing a SUBMIT,
+# running the engine pass and formatting the response must stay under
+# the budget recorded next to the measurement.
+grep -q '"alloc_budget_ok": true' BENCH_runtime.json || {
+  echo "FAIL: request hot path exceeded its minor-allocation budget (see BENCH_runtime.json)" >&2
+  exit 1
+}
+mwpr=$(grep -o '"minor_words_per_req": *[0-9.]*' BENCH_runtime.json | head -1 | grep -o '[0-9.]*$' || echo 0)
+echo "allocation budget gate OK: ${mwpr} minor words/request"
 
 echo "== BENCH_fleet.json =="
 cat BENCH_fleet.json

@@ -151,6 +151,13 @@ let response_field key line =
          | [ k; v ] when k = key -> float_of_string_opt v
          | _ -> None)
 
+type gc_stats = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
 type replay = {
   makespan : float;
   offline_makespan : float;
@@ -161,6 +168,8 @@ type replay = {
   requests_per_s : float;
   p50_latency_s : float;
   p99_latency_s : float;
+  p999_latency_s : float;
+  gc : gc_stats;
 }
 
 let percentile sorted q =
@@ -178,6 +187,7 @@ let replay conn ~trace ~rate ?(policy = Engine.Corrected Corrected_rules.OOSCMR)
   if pipeline < 1 then invalid_arg "Client.replay: pipeline must be >= 1";
   let capacity = Dt_trace.Trace.min_capacity trace *. capacity_factor in
   let tasks = trace.Dt_trace.Trace.tasks in
+  let gc0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   ignore
     (expect_ok "INIT"
@@ -240,6 +250,7 @@ let replay conn ~trace ~rate ?(policy = Engine.Corrected Corrected_rules.OOSCMR)
     List.iter (fun task -> ignore (Engine.submit engine task)) tasks;
     Schedule.makespan (Engine.drain engine)
   in
+  let gc1 = Gc.quick_stat () in
   let sorted = Array.of_list !latencies in
   Array.sort Float.compare sorted;
   let requests = !submitted + 2 in
@@ -253,4 +264,12 @@ let replay conn ~trace ~rate ?(policy = Engine.Corrected Corrected_rules.OOSCMR)
     requests_per_s = (if wall_s > 0.0 then Float.of_int requests /. wall_s else 0.0);
     p50_latency_s = percentile sorted 0.5;
     p99_latency_s = percentile sorted 0.99;
+    p999_latency_s = percentile sorted 0.999;
+    gc =
+      {
+        minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+        major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+        minor_collections = gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+        major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+      };
   }

@@ -49,6 +49,17 @@ val response_field : string -> string -> float option
 (** [response_field key line] extracts [<key>=<float>] from a response
     payload, e.g. [response_field "makespan" "OK makespan=42 scheduled=9"]. *)
 
+type gc_stats = {
+  minor_words : float;     (** minor-heap words allocated during the replay *)
+  major_words : float;     (** words allocated in (or promoted to) the major heap *)
+  minor_collections : int;
+  major_collections : int;
+}
+(** Client-process GC deltas over one replay ([Gc.quick_stat] sampled
+    before and after): what driving the load costs the *client* in
+    allocation — the server-side budget travels in STATS
+    ([minor_words_per_req]) instead. *)
+
 type replay = {
   makespan : float;        (** online makespan reported by DRAIN *)
   offline_makespan : float;(** clairvoyant offline run of the same policy *)
@@ -59,6 +70,8 @@ type replay = {
   requests_per_s : float;
   p50_latency_s : float;   (** per-request round-trip latency percentiles *)
   p99_latency_s : float;
+  p999_latency_s : float;  (** tail that survives averaging: p99.9 *)
+  gc : gc_stats;
 }
 
 val replay :

@@ -10,6 +10,49 @@ let ignore_sigpipe () =
   try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
   with Invalid_argument _ | Sys_error _ -> ()
 
+external stub_writev_available : unit -> bool = "dt_writev_available"
+external stub_writev : Unix.file_descr -> (Bytes.t * int * int) array -> int
+  = "dt_writev"
+
+let writev_available = stub_writev_available ()
+
+(* Test-only fault injection: a cap on how many bytes one writev call
+   may move, forcing short writes at arbitrary iovec/chunk boundaries so
+   the resume path is exercised (see net.mli). *)
+let writev_cap : (unit -> int option) ref = ref (fun () -> None)
+
+(* Largest iovec prefix moving at most [cap] bytes, splitting the last
+   slice when the cap lands mid-chunk. [cap >= 1]. *)
+let trim_iovs iovs cap =
+  let budget = ref cap and n = ref 0 in
+  while
+    !n < Array.length iovs
+    && !budget > 0
+  do
+    let b, off, len = iovs.(!n) in
+    if len > !budget then begin
+      iovs.(!n) <- (b, off, !budget);
+      budget := 0
+    end
+    else budget := !budget - len;
+    incr n
+  done;
+  if !n = Array.length iovs then iovs else Array.sub iovs 0 !n
+
+let writev fd iovs =
+  let iovs =
+    match !writev_cap () with
+    | None -> iovs
+    | Some cap -> trim_iovs (Array.copy iovs) (max 1 cap)
+  in
+  if Array.length iovs = 0 then 0
+  else if writev_available then stub_writev fd iovs
+  else
+    (* no scatter-gather on this platform: write the first slice only;
+       callers loop on the partial-write semantics either way *)
+    let b, off, len = iovs.(0) in
+    Unix.write fd b off len
+
 let resolve ~host ~port =
   match Unix.inet_addr_of_string host with
   | addr -> Unix.ADDR_INET (addr, port)

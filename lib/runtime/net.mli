@@ -7,6 +7,31 @@ val ignore_sigpipe : unit -> unit
     terminating the whole process. Idempotent; a no-op on platforms
     without SIGPIPE. *)
 
+val writev_available : bool
+(** Whether the scatter-gather {!writev} C stub is usable on this
+    platform (true everywhere but win32). When false, {!writev}
+    degrades to one looped [Unix.write] of the first slice per call —
+    correct but one syscall per chunk. ci.sh fails when this is false
+    on Linux: that would mean the stub silently regressed. *)
+
+val writev : Unix.file_descr -> (Bytes.t * int * int) array -> int
+(** [writev fd slices] writes the [(bytes, off, len)] slices — an
+    {!Iobuf.iovecs} view — in one [writev(2)] syscall and returns the
+    byte count actually written, which may stop short at any point (the
+    caller advances its buffer by the count and retries: short-write
+    resume falls out of the buffer cursor). At most 64 slices are
+    written per call; an empty array returns 0 without a syscall.
+    Raises [Unix.Unix_error] exactly like [Unix.write] ([EAGAIN]
+    included — intended for non-blocking fds, the call does not release
+    the OCaml runtime lock). *)
+
+val writev_cap : (unit -> int option) ref
+(** Test-only fault injection: consulted on every {!writev}; returning
+    [Some cap] truncates that call to at most [max 1 cap] bytes
+    (splitting mid-slice when the cap lands inside one), forcing the
+    short-write resume path at arbitrary iovec boundaries. The default
+    returns [None]; production code must not touch it. *)
+
 val resolve : host:string -> port:int -> Unix.sockaddr
 (** Resolve [host] (a dotted quad like ["127.0.0.1"] or a name like
     ["localhost"]) to an IPv4 socket address on [port]. Names go through

@@ -177,6 +177,31 @@ let frame payload =
   Buffer.add_string b payload;
   Buffer.contents b
 
+let frame_into buf payload =
+  Iobuf.add_u32_be buf (String.length payload);
+  Iobuf.add_string buf payload
+
+(* Same extraction as [extract_frame], but over the connection's chunked
+   reassembly buffer: the header is peeked in O(1) and the payload is
+   copied out exactly once, when complete — a sender trickling a frame
+   byte-by-byte costs O(frame) total, not O(frame^2). A completed frame
+   (and a structurally broken header) is consumed; [Need_more] leaves
+   the buffer untouched. *)
+let frame_of_buf buf =
+  if Iobuf.length buf < 4 then Need_more
+  else
+    let len = Iobuf.peek_u32_be buf in
+    if len > max_frame_bytes then
+      Frame_error
+        (Printf.sprintf "frame length %d out of bounds (max %d)"
+           (Int32.to_int (Int32.of_int len))
+           max_frame_bytes)
+    else if Iobuf.length buf - 4 < len then Need_more
+    else begin
+      Iobuf.advance buf 4;
+      Frame (Iobuf.read_string buf len, 4 + len)
+    end
+
 let add_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
 
 let encode_request b = function
@@ -312,6 +337,20 @@ let encode_response_frame lines =
       Buffer.add_string b line)
     lines;
   frame (Buffer.contents b)
+
+(* Byte-identical to [encode_response_frame], written straight into the
+   connection's output buffer: no intermediate payload string, no frame
+   string — the only copies are each line's bytes landing in a chunk. *)
+let encode_response_frame_into buf lines =
+  let payload_len =
+    List.fold_left (fun acc line -> acc + 4 + String.length line) 0 lines
+  in
+  Iobuf.add_u32_be buf payload_len;
+  List.iter
+    (fun line ->
+      Iobuf.add_u32_be buf (String.length line);
+      Iobuf.add_string buf line)
+    lines
 
 let decode_responses payload =
   let n = String.length payload in

@@ -116,6 +116,19 @@ type 'a frame =
 val extract_frame : string -> pos:int -> string frame
 (** Pull one frame's payload out of a reassembly buffer at [pos]. *)
 
+val frame_of_buf : Iobuf.t -> string frame
+(** Pull one frame out of a chunked reassembly buffer: the length
+    header is peeked in O(1), and the payload is copied out (and
+    consumed, header included) only once complete — so reassembling a
+    frame delivered over many reads costs O(frame) total work, where
+    re-extracting from a flat string each wakeup would cost
+    O(frame{^2}). [Need_more] leaves the buffer untouched; the
+    reported [used] count equals [4 + payload length]. *)
+
+val frame_into : Iobuf.t -> string -> unit
+(** [frame] written straight into an output buffer (header + payload),
+    with no intermediate frame string. *)
+
 val encode_request_frame : request list -> string
 (** One frame holding the given requests, header included. *)
 
@@ -126,6 +139,12 @@ val decode_requests : string -> ((request, string) result list, string) result
 
 val encode_response_frame : string list -> string
 (** One frame holding one request's response lines, header included. *)
+
+val encode_response_frame_into : Iobuf.t -> string list -> unit
+(** Byte-identical output to {!encode_response_frame}, appended
+    directly to the connection's output buffer: the response bytes are
+    written exactly once (each line into a chunk), with no intermediate
+    payload or frame string — the server's binary-mode hot path. *)
 
 val decode_responses : string -> (string list, string) result
 (** Decode a response frame's payload back into response lines. *)

@@ -53,17 +53,21 @@ type conn = {
   session : Session.t;
   shard : int;            (* fixed at accept: the pool shard that runs
                              every batch of this connection's requests *)
-  rbuf : Buffer.t;        (* received bytes not yet forming a full
-                             line/frame *)
+  rbuf : Iobuf.t;         (* received bytes not yet forming a full
+                             line/frame; the socket reads land directly
+                             in its chunks (Iobuf.fill_from) *)
   mutable rneed : int;    (* binary mode: bytes rbuf must reach before
                              reparsing is worthwhile (frame reassembly
-                             without re-scanning per read) *)
+                             without re-peeking the header per read) *)
+  mutable rscan : int;    (* text mode: prefix of rbuf already scanned
+                             for '\n' — an incomplete line is never
+                             re-scanned from offset 0 *)
   mutable mode : mode;    (* framing of the *incoming* byte stream *)
   inbox : (mode * item) Queue.t; (* parsed requests awaiting dispatch *)
   mutable busy : bool;    (* a batch is in flight on the shard *)
-  mutable out : string;   (* response bytes currently being written *)
-  mutable out_off : int;  (* prefix of [out] already on the wire *)
-  outq : Buffer.t;        (* responses queued behind [out] *)
+  outq : Iobuf.t;         (* pending response chunks; writev drains the
+                             whole list per syscall, advancing by the
+                             written count resumes mid-chunk *)
   mutable last_activity : float;
   mutable closing : bool; (* read no more; close once the output drains *)
   mutable dead : bool;    (* dropped: fd closed, possibly reused by a new
@@ -94,43 +98,39 @@ let make_conn ?info ~shard fd =
     fd;
     session = Session.create ?info ();
     shard;
-    rbuf = Buffer.create 256;
+    rbuf = Iobuf.create ();
     rneed = 0;
+    rscan = 0;
     mode = Text;
     inbox = Queue.create ();
     busy = false;
-    out = "";
-    out_off = 0;
-    outq = Buffer.create 256;
+    outq = Iobuf.create ~chunk_size:4096 ();
     last_activity = Unix.gettimeofday ();
     closing = false;
     dead = false;
   }
 
-let output_pending c = String.length c.out - c.out_off + Buffer.length c.outq
+let output_pending c = Iobuf.length c.outq
 let has_output c = output_pending c > 0
-let add_output c s = if s <> "" then Buffer.add_string c.outq s
+let add_output c s = Iobuf.add_string c.outq s
 
-(* Write as much pending output as the socket accepts right now; [false]
-   means the peer is gone (EPIPE/ECONNRESET/...) and the connection must
-   be dropped. *)
+(* One writev covers at most this many chunks; anything beyond resumes
+   on the next go-around (matches the C stub's DT_IOV_MAX). *)
+let max_flush_iovs = 64
+
+(* Write as much pending output as the socket accepts right now — the
+   whole chunk list per syscall via scatter-gather, never a flattening
+   copy; a short write advances the read cursor mid-chunk/mid-iovec and
+   the next call resumes there. [false] means the peer is gone
+   (EPIPE/ECONNRESET/...) and the connection must be dropped. *)
 let flush_output c =
   let rec go () =
-    if c.out_off >= String.length c.out then
-      if Buffer.length c.outq = 0 then true
-      else begin
-        c.out <- Buffer.contents c.outq;
-        Buffer.clear c.outq;
-        c.out_off <- 0;
-        go ()
-      end
+    if Iobuf.is_empty c.outq then true
     else
-      match
-        Unix.write_substring c.fd c.out c.out_off (String.length c.out - c.out_off)
-      with
+      match Net.writev c.fd (Iobuf.iovecs ~max:max_flush_iovs c.outq) with
       | 0 -> true
       | n ->
-          c.out_off <- c.out_off + n;
+          Iobuf.advance c.outq n;
           go ()
       | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
         ->
@@ -141,64 +141,60 @@ let flush_output c =
 
 (* ------------------------- input parsing --------------------------- *)
 
-let keep_tail buf s start =
-  if start > 0 then begin
-    Buffer.clear buf;
-    Buffer.add_substring buf s start (String.length s - start)
-  end
-
-(* Split rbuf's binary frames into inbox items, keeping the partial
-   tail. Sets [rneed] so the caller skips reparsing until the partial
-   frame can be complete (reassembly over many reads stays linear). *)
+(* Split rbuf's binary frames into inbox items, leaving the partial
+   tail buffered in place. Sets [rneed] so the caller skips reparsing
+   until the partial frame can be complete — and since the frame is
+   only extracted (one copy) once complete, reassembly over many reads
+   is O(frame) total, not O(frame^2) like re-flattening the buffer on
+   every readiness event would be. *)
 let parse_binary c =
-  let s = Buffer.contents c.rbuf in
-  let n = String.length s in
-  let pos = ref 0 and continue = ref true in
+  let continue = ref true in
   while !continue do
-    match Protocol.extract_frame s ~pos:!pos with
-    | Protocol.Need_more -> continue := false
-    | Protocol.Frame_error msg ->
-        Queue.push (Binary, Fatal msg) c.inbox;
-        pos := n;
-        continue := false
-    | Protocol.Frame (payload, used) -> (
-        pos := !pos + used;
-        match Protocol.decode_requests payload with
-        | Error msg ->
-            Queue.push (Binary, Fatal msg) c.inbox;
-            pos := n;
-            continue := false
-        | Ok requests ->
-            List.iter (fun r -> Queue.push (Binary, Req r) c.inbox) requests)
-  done;
-  keep_tail c.rbuf s !pos;
-  let tail = n - !pos in
-  c.rneed <-
-    (if tail >= 4 then
-       4
-       + (Char.code s.[!pos] lsl 24)
-       + (Char.code s.[!pos + 1] lsl 16)
-       + (Char.code s.[!pos + 2] lsl 8)
-       + Char.code s.[!pos + 3]
-     else 4)
+    if Iobuf.length c.rbuf < c.rneed then continue := false
+    else
+      match Protocol.frame_of_buf c.rbuf with
+      | Protocol.Need_more ->
+          c.rneed <-
+            (if Iobuf.length c.rbuf >= 4 then 4 + Iobuf.peek_u32_be c.rbuf
+             else 4);
+          continue := false
+      | Protocol.Frame_error msg ->
+          Queue.push (Binary, Fatal msg) c.inbox;
+          Iobuf.clear c.rbuf;
+          c.rneed <- 4;
+          continue := false
+      | Protocol.Frame (payload, _) -> (
+          c.rneed <- 4;
+          match Protocol.decode_requests payload with
+          | Error msg ->
+              Queue.push (Binary, Fatal msg) c.inbox;
+              Iobuf.clear c.rbuf;
+              continue := false
+          | Ok requests ->
+              List.iter (fun r -> Queue.push (Binary, Req r) c.inbox) requests)
+  done
 
 (* Split rbuf into inbox items: complete text lines up to (and
    including) a binary-negotiating INIT, then binary frames. Partial
-   tails are kept (slow-loris clients deliver a request over many
-   reads). Returns [false] when the connection must close because the
-   text-mode line bound was exceeded. *)
+   tails stay buffered where they are (slow-loris clients deliver a
+   request over many reads; [rscan] remembers how far the newline scan
+   got so the incomplete line is never re-scanned). Returns [false]
+   when the connection must close because the text-mode line bound was
+   exceeded. *)
 let parse_input c =
   (match c.mode with
   | Binary -> ()
   | Text ->
-      let s = Buffer.contents c.rbuf in
-      let start = ref 0 and continue = ref true in
+      let continue = ref true in
       while !continue do
-        match String.index_from s !start '\n' with
-        | exception Not_found -> continue := false
-        | i ->
-            let line = String.sub s !start (i - !start) in
-            start := i + 1;
+        match Iobuf.index_char c.rbuf ~from:c.rscan '\n' with
+        | None ->
+            c.rscan <- Iobuf.length c.rbuf;
+            continue := false
+        | Some i ->
+            let line = Iobuf.read_string c.rbuf i in
+            Iobuf.advance c.rbuf 1 (* the '\n' itself *);
+            c.rscan <- 0;
             if Protocol.switches_to_binary line then begin
               (* the switch takes effect immediately: the INIT's own
                  response, and every byte after its newline, is binary *)
@@ -207,13 +203,12 @@ let parse_input c =
               continue := false
             end
             else Queue.push (Text, Line line) c.inbox
-      done;
-      keep_tail c.rbuf s !start);
+      done);
   match c.mode with
   | Binary ->
-      if Buffer.length c.rbuf >= c.rneed then parse_binary c;
+      if Iobuf.length c.rbuf >= c.rneed then parse_binary c;
       true
-  | Text -> Buffer.length c.rbuf <= max_line_bytes
+  | Text -> Iobuf.length c.rbuf <= max_line_bytes
 
 (* Run one connection's batch of parsed items through its session,
    encoding each item's responses in its own mode — the text protocol
@@ -225,38 +220,35 @@ let parse_input c =
    Session handlers never raise by contract; the handler here is the
    last line of defense so that an escaped exception tears down one
    connection, never the event loop. *)
-let process_items session items =
-  let out = Buffer.create 256 in
-  let emit mode responses =
-    match mode with
-    | Text ->
-        List.iter
-          (fun line ->
-            Buffer.add_string out line;
-            Buffer.add_char out '\n')
-          responses
-    | Binary -> Buffer.add_string out (Protocol.encode_response_frame responses)
-  in
+let process_items_into session buf items =
   let rec go control = function
     | [] -> control
     | _ :: _ when control <> Session.Continue -> control
     | (mode, item) :: rest ->
-        let responses, next =
+        let binary = match mode with Binary -> true | Text -> false in
+        let next =
           match item with
-          | Line line -> Session.handle_line session line
-          | Req (Ok request) -> Session.handle_request session request
+          | Line line -> Session.handle_line_into session buf ~binary line
+          | Req (Ok request) ->
+              Session.handle_request_into session buf ~binary request
           | Req (Error msg) ->
-              ([ Protocol.err ~code:"parse" msg ], Session.Continue)
-          | Fatal msg -> ([ Protocol.err ~code:"parse" msg ], Session.Close_session)
+              Session.emit_into buf ~binary [ Protocol.err ~code:"parse" msg ];
+              Session.Continue
+          | Fatal msg ->
+              Session.emit_into buf ~binary [ Protocol.err ~code:"parse" msg ];
+              Session.Close_session
         in
-        emit mode responses;
         go next rest
   in
   match go Session.Continue items with
-  | control -> (Buffer.contents out, control)
+  | control -> control
   | exception e ->
-      ( Protocol.err ~code:"internal" (Printexc.to_string e) ^ "\n",
-        Session.Close_session )
+      (* session handlers never raise by contract, so this is
+         vanishingly rare; appending after any partial output already
+         in [buf] keeps the failure visible without replaying it *)
+      Iobuf.add_string buf (Protocol.err ~code:"internal" (Printexc.to_string e));
+      Iobuf.add_char buf '\n';
+      Session.Close_session
 
 let install_signal_handlers stop =
   let previous = ref [] in
@@ -307,7 +299,6 @@ let run ?pool ?(backend = `Auto) ?(max_conns = 512) ?max_output_bytes
   Net.ignore_sigpipe ();
   let restore = install_signal_handlers t.stop in
   (match on_listen with None -> () | Some f -> f t.port);
-  let scratch = Bytes.create 65536 in
   (* fd-keyed table (fds are immediate ints) so an epoll wakeup touches
      only the connections with events, never the whole population *)
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 256 in
@@ -348,8 +339,30 @@ let run ?pool ?(backend = `Auto) ?(max_conns = 512) ?max_output_bytes
   in
   let next_shard = ref 0 in
   let comp_mutex = Mutex.create () in
-  let completions = ref ([] : (conn * (string * Session.control)) list) in
+  let completions = ref ([] : (conn * (Iobuf.t * Session.control)) list) in
   let in_flight = Atomic.make 0 in
+  (* Allocation budget instrumentation: minor-heap words allocated
+     while running request batches, per request, across every domain
+     that ran one (Gc.minor_words is per-domain in OCaml 5, so the
+     delta is sampled on whichever domain executed the batch and folded
+     into these process-wide counters). STATS reports the running
+     average as [minor_words_per_req]. *)
+  let alloc_words = Atomic.make 0.0 in
+  let alloc_reqs = Atomic.make 0 in
+  let record_alloc dw n =
+    let rec add () =
+      let cur = Atomic.get alloc_words in
+      if not (Atomic.compare_and_set alloc_words cur (cur +. dw)) then add ()
+    in
+    if dw > 0.0 then add ();
+    ignore (Atomic.fetch_and_add alloc_reqs n)
+  in
+  let run_batch session buf items =
+    let w0 = Gc.minor_words () in
+    let control = process_items_into session buf items in
+    record_alloc (Gc.minor_words () -. w0) (List.length items);
+    control
+  in
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
@@ -374,13 +387,21 @@ let run ?pool ?(backend = `Auto) ?(max_conns = 512) ?max_output_bytes
   in
   let conn_info shard () =
     let backend = "backend=" ^ Poller.backend_name poller in
+    let alloc =
+      let reqs = Atomic.get alloc_reqs in
+      if reqs = 0 then ""
+      else
+        Printf.sprintf " minor_words_per_req=%.0f"
+          (Atomic.get alloc_words /. Float.of_int reqs)
+    in
     match pool with
-    | None -> backend
+    | None -> backend ^ alloc
     | Some p ->
         let s = Dt_par.Pool.stats p in
-        Printf.sprintf "shard=%d %s pool_jobs=%d pool_fallbacks=%d pool_steals=%d"
-          shard backend s.Dt_par.Pool.jobs s.Dt_par.Pool.fallbacks
-          s.Dt_par.Pool.steals
+        Printf.sprintf
+          "shard=%d %s pool_jobs=%d pool_fallbacks=%d pool_steals=%d%s" shard
+          backend s.Dt_par.Pool.jobs s.Dt_par.Pool.fallbacks
+          s.Dt_par.Pool.steals alloc
   in
   (* Hand a connection's queued items to its shard, unless a batch is
      already in flight there (per-connection order) or inline when the
@@ -391,22 +412,32 @@ let run ?pool ?(backend = `Auto) ?(max_conns = 512) ?max_output_bytes
       let items = List.of_seq (Queue.to_seq c.inbox) in
       Queue.clear c.inbox;
       match pool with
-      | None -> apply c (process_items c.session items)
+      | None ->
+          (* no pool: the loop owns the connection outright, so the
+             responses are encoded straight into its output queue *)
+          apply_control c (run_batch c.session c.outq items)
       | Some p ->
           c.busy <- true;
           Atomic.incr in_flight;
           Dt_par.Pool.submit p ~shard:c.shard (fun () ->
-              let result = process_items c.session items in
+              (* the batch buffer is private to this worker until the
+                 completion hand-off; the event loop then splices its
+                 chunks onto the connection's outq (Iobuf.transfer) —
+                 no copy, and never two domains in one buffer *)
+              let buf = Iobuf.create ~chunk_size:1024 () in
+              let control = run_batch c.session buf items in
               Mutex.lock comp_mutex;
-              completions := (c, result) :: !completions;
+              completions := (c, (buf, control)) :: !completions;
               Mutex.unlock comp_mutex;
               wake ();
               (* last action: after this decrement the task provably
                  holds no reference to the wake pipe *)
               Atomic.decr in_flight)
     end
-  and apply c (output, control) =
-    add_output c output;
+  and apply c (buf, control) =
+    Iobuf.transfer ~src:buf c.outq;
+    apply_control c control
+  and apply_control c control =
     match control with
     | Session.Continue -> ()
     | Session.Close_session -> c.closing <- true
@@ -446,12 +477,28 @@ let run ?pool ?(backend = `Auto) ?(max_conns = 512) ?max_output_bytes
       ready
   in
   (* EOF, a read/write error, or data arriving: returns [true] when the
-     connection is still alive afterwards. *)
+     connection is still alive afterwards. The socket reads land
+     directly in rbuf's tail chunk (no intermediate scratch copy);
+     [read_budget] bounds one connection's share of a wakeup so a
+     firehose peer cannot starve the rest — the level-triggered poller
+     reports it again immediately. *)
+  let read_budget = 65536 in
   let handle_read c =
-    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
-    | 0 -> false (* peer closed: pending output is undeliverable *)
-    | n ->
-        Buffer.add_subbytes c.rbuf scratch 0 n;
+    let rec read_loop total =
+      if total >= read_budget then `Data
+      else
+        match Iobuf.fill_from c.rbuf c.fd with
+        | 0 -> `Eof (* peer closed: pending output is undeliverable *)
+        | n -> read_loop (total + n)
+        | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+          ->
+            if total > 0 then `Data else `Nothing
+        | exception Unix.Unix_error _ -> `Eof
+    in
+    match read_loop 0 with
+    | `Eof -> false
+    | `Nothing -> true
+    | `Data ->
         c.last_activity <- Unix.gettimeofday ();
         if parse_input c then begin
           dispatch c;
@@ -465,10 +512,6 @@ let run ?pool ?(backend = `Auto) ?(max_conns = 512) ?max_output_bytes
           c.closing <- true;
           true
         end
-    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
-      ->
-        true
-    | exception Unix.Unix_error _ -> false
   in
   let accept_all touched =
     let rec go () =

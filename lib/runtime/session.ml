@@ -129,3 +129,28 @@ let handle_line t line =
   match Protocol.parse_request (strip line) with
   | Error msg -> ([ Protocol.err ~code:"parse" msg ], Continue)
   | Ok request -> handle_request t request
+
+(* Buffer-threading variants: the TCP server hands its connection (or
+   batch) output buffer through instead of materialising a response
+   string per request. Text responses append '\n'-terminated lines,
+   binary wraps one request's lines in exactly one frame — byte for
+   byte what the string path would have produced. *)
+
+let emit_into buf ~binary responses =
+  if binary then Protocol.encode_response_frame_into buf responses
+  else
+    List.iter
+      (fun line ->
+        Iobuf.add_string buf line;
+        Iobuf.add_char buf '\n')
+      responses
+
+let handle_request_into t buf ~binary request =
+  let responses, control = handle_request t request in
+  emit_into buf ~binary responses;
+  control
+
+let handle_line_into t buf ~binary line =
+  let responses, control = handle_line t line in
+  emit_into buf ~binary responses;
+  control

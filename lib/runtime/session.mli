@@ -40,6 +40,23 @@ val handle_request : t -> Protocol.request -> string list * control
     {!fault_hook} injection point), differing only in skipping the
     parse step. *)
 
+val emit_into : Iobuf.t -> binary:bool -> string list -> unit
+(** Append one request's response lines to an output buffer in the
+    given framing: text appends each line ['\n']-terminated, binary
+    wraps the list in exactly one frame
+    ({!Protocol.encode_response_frame_into}) — byte-identical to what
+    the string-returning handlers would have sent. *)
+
+val handle_request_into : t -> Iobuf.t -> binary:bool -> Protocol.request -> control
+(** {!handle_request} with the response appended to the buffer via
+    {!emit_into} instead of returned — the TCP server's zero-copy path:
+    response bytes are written once, into the connection's (or batch's)
+    output chunks, never into a per-request string. Same never-raises
+    contract. *)
+
+val handle_line_into : t -> Iobuf.t -> binary:bool -> string -> control
+(** {!handle_line}, buffer-threaded like {!handle_request_into}. *)
+
 val fault_hook : (Protocol.request -> unit) ref
 (** Test-only fault injection: called with every parsed request just
     before it is handled. A hook that raises models a bug in engine/sim

@@ -1,0 +1,68 @@
+/* writev(2) binding for Dt_runtime.Net: drain a whole Iobuf chunk list
+ * in one scatter-gather syscall.
+ *
+ * The iovec array is built from (bytes, off, len) triples pointing into
+ * the OCaml heap, and the call deliberately does NOT release the runtime
+ * lock: the fds the server hands in are non-blocking, so the syscall
+ * returns immediately, and holding the lock means no GC can run (and no
+ * Bytes can move) between taking the pointers and the kernel copying
+ * from them. Nothing allocates on the path from Bytes_val to writev.
+ *
+ * On platforms without <sys/uio.h> (win32), dt_writev_available returns
+ * false and dt_writev raises ENOSYS; the OCaml side falls back to a
+ * looped Unix.write per chunk. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/unixsupport.h>
+
+#ifndef _WIN32
+
+#include <sys/uio.h>
+#include <errno.h>
+
+/* Matches the <= 64 slice cap of Iobuf.iovecs and stays far under any
+ * platform IOV_MAX (POSIX guarantees >= 16, Linux has 1024). */
+#define DT_IOV_MAX 64
+
+CAMLprim value dt_writev_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value dt_writev(value v_fd, value v_iovs)
+{
+  struct iovec iov[DT_IOV_MAX];
+  int n = Wosize_val(v_iovs);
+  int i;
+  ssize_t written;
+  if (n > DT_IOV_MAX) n = DT_IOV_MAX;
+  for (i = 0; i < n; i++) {
+    value t = Field(v_iovs, i);
+    iov[i].iov_base = Bytes_val(Field(t, 0)) + Long_val(Field(t, 1));
+    iov[i].iov_len = Long_val(Field(t, 2));
+  }
+  written = writev(Int_val(v_fd), iov, n);
+  if (written == -1) uerror("writev", Nothing);
+  return Val_long(written);
+}
+
+#else /* _WIN32 */
+
+CAMLprim value dt_writev_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value dt_writev(value v_fd, value v_iovs)
+{
+  (void)v_fd; (void)v_iovs;
+  unix_error(ENOSYS, "writev", Nothing);
+  return Val_unit; /* unreachable */
+}
+
+#endif

@@ -24,6 +24,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("dag", Test_dag.suite);
       ("par", Test_par.suite);
+      ("iobuf", Test_iobuf.suite);
       ("runtime", Test_runtime.suite);
       ("cluster", Test_cluster.suite);
     ]

@@ -1152,6 +1152,211 @@ let client_survives_server_close () =
   done;
   Dt_runtime.Client.close conn
 
+(* --------------------- zero-copy I/O path --------------------------- *)
+
+module Iobuf = Dt_runtime.Iobuf
+
+let u32_be_string v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int v);
+  Bytes.to_string b
+
+(* the into-buffer encoders must spell out exactly the bytes of the
+   string encoders they replace on the hot path *)
+let prop_encode_into_identical =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"encode_response_frame_into / frame_into = string encoders, byte for byte"
+       ~print:(fun lines -> String.concat " | " lines)
+       QCheck2.Gen.(
+         list_size (int_range 0 12) (string_size ~gen:printable (int_range 0 60)))
+       (fun lines ->
+         let buf = Iobuf.create ~chunk_size:16 () in
+         Protocol.encode_response_frame_into buf lines;
+         let into = Iobuf.contents buf in
+         let via_string = Protocol.encode_response_frame lines in
+         if into <> via_string then
+           QCheck2.Test.fail_reportf "response frame diverged:\n%S\n%S" into
+             via_string;
+         let payload = String.concat "," lines in
+         let fbuf = Iobuf.create ~chunk_size:16 () in
+         Protocol.frame_into fbuf payload;
+         Iobuf.contents fbuf = u32_be_string (String.length payload) ^ payload))
+
+(* the chunked-buffer frame decoder agrees with the flat-string one on
+   every possible truncation, and leaves trailing bytes for the next
+   frame *)
+let prop_frame_of_buf_matches_extract =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"frame_of_buf = extract_frame on every prefix"
+       ~print:(fun (payload, extra) -> Printf.sprintf "%S + %S" payload extra)
+       QCheck2.Gen.(
+         pair
+           (string_size ~gen:printable (int_range 0 80))
+           (string_size ~gen:printable (int_range 0 10)))
+       (fun (payload, extra) ->
+         let full = u32_be_string (String.length payload) ^ payload in
+         let n = String.length full in
+         for k = 0 to n - 1 do
+           let prefix = String.sub full 0 k in
+           let buf = Iobuf.create ~chunk_size:16 () in
+           Iobuf.add_string buf prefix;
+           match (Protocol.extract_frame prefix ~pos:0, Protocol.frame_of_buf buf) with
+           | Protocol.Need_more, Protocol.Need_more ->
+               if Iobuf.contents buf <> prefix then
+                 QCheck2.Test.fail_reportf "Need_more consumed bytes at %d" k
+           | _, _ -> QCheck2.Test.fail_reportf "constructors diverged at %d" k
+         done;
+         let buf = Iobuf.create ~chunk_size:16 () in
+         Iobuf.add_string buf (full ^ extra);
+         match Protocol.frame_of_buf buf with
+         | Protocol.Frame (p, used) ->
+             p = payload && used = n && Iobuf.contents buf = extra
+         | _ -> false))
+
+let frame_error_messages_agree () =
+  (* a structurally broken header must read the same from both decoders,
+     including the sign-wrapped spelling of lengths past 2^31 *)
+  List.iter
+    (fun len_field ->
+      let bogus = u32_be_string len_field ^ "xx" in
+      let buf = Iobuf.create () in
+      Iobuf.add_string buf bogus;
+      match (Protocol.extract_frame bogus ~pos:0, Protocol.frame_of_buf buf) with
+      | Protocol.Frame_error a, Protocol.Frame_error b ->
+          Alcotest.(check string) "identical structural error" a b
+      | _ -> Alcotest.fail "oversized header must be a structural error")
+    [ Protocol.max_frame_bytes + 1; 0x7fffffff; 0xffffffff ]
+
+let large_frame_byte_by_byte () =
+  (* the quadratic-reassembly regression: a large frame trickled one
+     byte per read event must cost O(frame) total, not O(frame^2) —
+     the old Buffer.contents-per-wakeup path would sit here for minutes *)
+  let payload = String.init (256 * 1024) (fun i -> Char.chr (i land 0xff)) in
+  let framed = u32_be_string (String.length payload) ^ payload in
+  let buf = Iobuf.create () in
+  let rneed = ref 4 in
+  let extracted = ref None in
+  let t0 = Unix.gettimeofday () in
+  String.iter
+    (fun c ->
+      Iobuf.add_char buf c;
+      (* the server's reassembly loop: only consult the decoder once the
+         bytes it already announced needing have arrived *)
+      if Iobuf.length buf >= !rneed then
+        match Protocol.frame_of_buf buf with
+        | Protocol.Need_more ->
+            rneed :=
+              if Iobuf.length buf >= 4 then 4 + Iobuf.peek_u32_be buf else 4
+        | Protocol.Frame (p, _) -> extracted := Some p
+        | Protocol.Frame_error m -> Alcotest.failf "frame error: %s" m)
+    framed;
+  let wall = Unix.gettimeofday () -. t0 in
+  (match !extracted with
+  | Some p ->
+      Alcotest.(check bool) "payload intact" true (String.equal p payload)
+  | None -> Alcotest.fail "frame never completed");
+  Alcotest.(check bool)
+    (Printf.sprintf "byte-by-byte reassembly stayed linear (%.2f s)" wall)
+    true (wall < 5.0)
+
+let short_writes_resume () =
+  (* fault injection on the writev path: cycle tiny per-call byte caps so
+     every flush stops at an arbitrary point, often mid-iovec — the
+     resume logic must still deliver every response byte in order, on
+     both the text and the binary path *)
+  let caps = [| 1; 3; 7; 16; 64; 1024 |] in
+  let calls = ref 0 in
+  Dt_runtime.Net.writev_cap :=
+    (fun () ->
+      let c = caps.(!calls mod Array.length caps) in
+      incr calls;
+      Some c);
+  Fun.protect
+    ~finally:(fun () -> Dt_runtime.Net.writev_cap := (fun () -> None))
+    (fun () ->
+      with_server (fun port ->
+          let conn = Dt_runtime.Client.connect ~port () in
+          Fun.protect
+            ~finally:(fun () -> Dt_runtime.Client.close conn)
+            (fun () ->
+              ignore
+                (expect_ok "INIT"
+                   (Dt_runtime.Client.request_line conn
+                      "INIT 1000000 LCMR 100000"));
+              for i = 0 to 199 do
+                ignore
+                  (expect_ok "SUBMIT"
+                     (Dt_runtime.Client.request conn
+                        (Protocol.Submit
+                           {
+                             label = Printf.sprintf "t%d" i;
+                             comm = 1.0;
+                             comp = 0.5;
+                             mem = 1.0;
+                             arrival = 0.0;
+                           })))
+              done;
+              ignore
+                (expect_ok "DRAIN"
+                   (Dt_runtime.Client.request conn Protocol.Drain));
+              match Dt_runtime.Client.request conn Protocol.Entries with
+              | header :: entries ->
+                  ignore (expect_ok "ENTRIES" [ header ]);
+                  Alcotest.(check int)
+                    "all 200 entries intact across short writes" 200
+                    (List.length entries);
+                  List.iter
+                    (fun line ->
+                      Alcotest.(check bool)
+                        "ENTRY line survives resumption" true
+                        (starts_with "ENTRY" line))
+                    entries
+              | [] -> Alcotest.fail "empty ENTRIES response");
+          Alcotest.(check bool) "the cap hook actually fired" true (!calls > 10);
+          (* same server, binary framing through the same faulted path *)
+          let bconn = Dt_runtime.Client.connect ~port () in
+          Fun.protect
+            ~finally:(fun () -> Dt_runtime.Client.close bconn)
+            (fun () ->
+              ignore
+                (expect_ok "INIT binary"
+                   (Dt_runtime.Client.request bconn
+                      (Protocol.Init
+                         {
+                           capacity = 1000000.0;
+                           policy = Engine.Dynamic Dynamic_rules.LCMR;
+                           queue_limit = Some 100000;
+                           binary = true;
+                         })));
+              let submits =
+                List.init 64 (fun k ->
+                    Protocol.Submit
+                      {
+                        label = Printf.sprintf "b%d" k;
+                        comm = 1.0;
+                        comp = 0.5;
+                        mem = 1.0;
+                        arrival = 0.0;
+                      })
+              in
+              let responses =
+                Dt_runtime.Client.request_pipelined bconn submits
+              in
+              Alcotest.(check int) "pipelined responses" 64
+                (List.length responses);
+              List.iter (fun r -> ignore (expect_ok "SUBMIT(bin)" r)) responses;
+              ignore
+                (expect_ok "DRAIN(bin)"
+                   (Dt_runtime.Client.request bconn Protocol.Drain));
+              match Dt_runtime.Client.request bconn Protocol.Entries with
+              | header :: entries ->
+                  ignore (expect_ok "ENTRIES(bin)" [ header ]);
+                  Alcotest.(check int) "binary entries intact" 64
+                    (List.length entries)
+              | [] -> Alcotest.fail "empty binary ENTRIES response")))
+
 let suite =
   [
     prop_zero_arrivals_are_offline;
@@ -1203,4 +1408,12 @@ let suite =
       select_max_conns_rejected;
     Alcotest.test_case "client survives server close (SIGPIPE)" `Quick
       client_survives_server_close;
+    prop_encode_into_identical;
+    prop_frame_of_buf_matches_extract;
+    Alcotest.test_case "frame errors agree across decoders" `Quick
+      frame_error_messages_agree;
+    Alcotest.test_case "256 KiB frame fed byte-by-byte reassembles linearly"
+      `Quick large_frame_byte_by_byte;
+    Alcotest.test_case "short writev calls resume mid-iovec" `Quick
+      short_writes_resume;
   ]
